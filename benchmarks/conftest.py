@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one figure or ablation from DESIGN.md §4 using
+the "quick" effort profile, times it once (these are multi-second
+simulations — statistical repetition happens *inside* each figure's
+measurement window, not by re-running it), asserts the paper's qualitative
+shape, and writes the full text report to ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Longer, more detailed figures: ``python -m repro.bench all --full``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time ``func`` exactly once through pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,30 @@
+"""E6 — thread clustering does not help this workload (§2 claim)."""
+
+from repro.bench.figures import clustering_comparison
+from repro.bench.report import save_report
+
+
+def test_thread_clustering_comparison(benchmark, once, capsys):
+    result = once(benchmark, clustering_comparison,
+                  n_dirs_list=(64, 160, 320))
+    save_report(result.name, result.report)
+    with capsys.disabled():
+        print()
+        print(result.report)
+
+    thread = result.series_by_label("thread")
+    clustering = result.series_by_label("thread-clustering")
+    coretime = result.series_by_label("coretime")
+
+    for t, cl, ct in zip(thread.points, clustering.points,
+                         coretime.points):
+        # §2: "Thread clustering will not improve performance since all
+        # threads look up files in the same directories."
+        assert cl.kops_per_sec < 1.25 * t.kops_per_sec, (
+            f"clustering unexpectedly helped at {t.x} KB")
+        # It should not be catastrophically worse either — it
+        # degenerates to ordinary placement.
+        assert cl.kops_per_sec > 0.7 * t.kops_per_sec
+        # O2 scheduling is what actually helps.
+        assert ct.kops_per_sec > 1.5 * max(t.kops_per_sec,
+                                           cl.kops_per_sec)

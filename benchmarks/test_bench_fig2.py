@@ -1,0 +1,34 @@
+"""E3 — Figure 2: cache contents under thread vs O2 scheduling.
+
+Paper: the thread scheduler replicates a few directories everywhere and
+leaves many off-chip; the O2 scheduler partitions, keeping (all) 20
+directories on-chip.
+"""
+
+from repro.bench.figures import figure_2
+from repro.bench.report import save_report
+
+
+def _on_chip(residency) -> int:
+    return sum(len(names) for location, names in residency.items()
+               if location != "off-chip")
+
+
+def test_figure_2(benchmark, once, capsys):
+    result = once(benchmark, figure_2, n_dirs=20)
+    save_report(result.name, result.report)
+    with capsys.disabled():
+        print()
+        print(result.report)
+
+    thread = result.details["thread scheduler"]
+    o2 = result.details["O2 scheduler (CoreTime)"]
+
+    # O2 keeps every directory on-chip (paper: all 20 in Figure 2b)...
+    assert _on_chip(o2) == 20
+    # ...the thread scheduler cannot (off-chip box is non-empty, 2a).
+    assert _on_chip(thread) < 20
+    assert "off-chip" in thread
+    # O2 spreads directories over every core's cache (partitioning).
+    o2_cores = [loc for loc in o2 if loc.startswith("core")]
+    assert len(o2_cores) == 4

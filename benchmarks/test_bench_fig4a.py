@@ -1,0 +1,36 @@
+"""E1 — Figure 4(a): resolutions/s vs data size, uniform popularity.
+
+Paper shape: both schedulers fast while the data fits on-chip, CoreTime
+2-3x faster once it does not, both degrading toward the right edge.
+"""
+
+from repro.bench.figures import figure_4a
+from repro.bench.report import save_report
+
+
+def test_figure_4a(benchmark, once, capsys):
+    result = once(benchmark, figure_4a, profile="quick")
+    save_report(result.name, result.report)
+    with capsys.disabled():
+        print()
+        print(result.report)
+
+    thread = result.series_by_label("thread")
+    coretime = result.series_by_label("coretime")
+
+    # CoreTime never collapses below the thread scheduler anywhere...
+    for t, c in zip(thread.points, coretime.points):
+        assert c.kops_per_sec > 0.5 * t.kops_per_sec, (
+            f"CoreTime collapsed at {t.x} KB")
+    # ...and clearly wins in the partitioning regime (the middle points,
+    # where data exceeds a chip's caches but fits on-chip overall).
+    mid = len(thread.points) // 2
+    ratio = (coretime.points[mid].kops_per_sec
+             / thread.points[mid].kops_per_sec)
+    assert ratio > 1.5, f"expected a clear CoreTime win mid-curve: {ratio}"
+    # The thread scheduler's curve falls from its peak as data outgrows
+    # the caches (the implicit-scheduling decline of §2).
+    thread_peak = max(p.kops_per_sec for p in thread.points)
+    assert thread.points[-1].kops_per_sec < 0.8 * thread_peak
+    # CoreTime migrates in the winning regime.
+    assert coretime.points[mid].migrations > 0

@@ -1,0 +1,30 @@
+"""E2 — Figure 4(b): oscillating directory popularity.
+
+Paper: "CoreTime is able to rebalance directories across caches and
+performs more than twice as fast for most data sizes."
+"""
+
+from repro.bench.figures import figure_4b
+from repro.bench.report import save_report
+
+
+def test_figure_4b(benchmark, once, capsys):
+    result = once(benchmark, figure_4b, profile="quick")
+    save_report(result.name, result.report)
+    with capsys.disabled():
+        print()
+        print(result.report)
+
+    thread = result.series_by_label("thread")
+    coretime = result.series_by_label("coretime")
+
+    wins = sum(
+        c.kops_per_sec > 2.0 * t.kops_per_sec
+        for t, c in zip(thread.points, coretime.points))
+    # "More than twice as fast for most data sizes."
+    assert wins >= (len(thread.points) + 1) // 2, (
+        f"CoreTime >2x on only {wins}/{len(thread.points)} sizes")
+    # The win comes from rebalancing: objects moved during the run.
+    moves = [c.scheduler_stats.get("rebalance_moves", 0)
+             for c in coretime.points]
+    assert any(m > 0 for m in moves)

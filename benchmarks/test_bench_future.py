@@ -1,0 +1,25 @@
+"""E7 — future multicores (§6.1): scarcer off-chip bandwidth, larger
+caches and cheap migration should widen O2 scheduling's advantage."""
+
+from repro.bench.figures import future_multicore
+from repro.bench.report import save_report
+
+
+def test_future_multicore(benchmark, once, capsys):
+    result = once(benchmark, future_multicore,
+                  n_dirs_list=(160, 320, 512))
+    save_report(result.name, result.report)
+    with capsys.disabled():
+        print()
+        print(result.report)
+
+    today = result.details["today"]["ratios"]
+    future = result.details["future"]["ratios"]
+
+    # CoreTime wins on both machines...
+    assert all(r > 1.0 for r in today)
+    assert all(r > 1.0 for r in future)
+    # ...and the average advantage grows on the future machine (§6.1:
+    # "these trends will result in processors where O2 scheduling might
+    # be attractive for a larger number of workloads").
+    assert sum(future) / len(future) > sum(today) / len(today)

@@ -1,0 +1,25 @@
+"""E5 — migration-cost sensitivity (§4's pay-off condition, §5's
+measured 2000 cycles, §6.1's cheap active-message migration)."""
+
+from repro.bench.figures import migration_cost_sweep
+from repro.bench.report import save_report
+
+
+def test_migration_cost_sweep(benchmark, once, capsys):
+    result = once(benchmark, migration_cost_sweep,
+                  costs=(0, 250, 1000, 4000), n_dirs=320)
+    save_report(result.name, result.report)
+    with capsys.disabled():
+        print()
+        print(result.report)
+
+    coretime = result.series[0]
+    baseline = result.series[1].points[0].kops_per_sec
+
+    # Cheaper migration can only help: the curve is (weakly) decreasing.
+    ys = coretime.ys
+    assert ys[0] >= ys[-1], "free migration slower than 4000-cycle one"
+    # At the paper's scaled cost the win is clear.
+    assert ys[1] > 1.5 * baseline
+    # Migration cost erodes the advantage (§4's pay-off condition).
+    assert ys[-1] < ys[0]

@@ -1,0 +1,30 @@
+"""E10 — object clustering (§6.2): objects used together are placed in
+the same cache, halving migration traffic for paired operations."""
+
+from repro.bench.figures import object_clustering_ablation
+from repro.bench.report import save_report
+
+
+def test_object_clustering(benchmark, once, capsys):
+    result = once(benchmark, object_clustering_ablation, n_objects=64)
+    save_report(result.name, result.report)
+    with capsys.disabled():
+        print()
+        print(result.report)
+
+    def migrations_per_op(label):
+        point = result.series_by_label(label).points[0]
+        return point.migrations / max(1, point.ops)
+
+    plain = migrations_per_op("no clustering")
+    learned = migrations_per_op("learned clusters")
+    declared = migrations_per_op("declared clusters")
+
+    # Co-location eliminates the second hop of most paired operations.
+    assert declared < 0.75 * plain
+    # The runtime learns the same clusters the programmer would declare.
+    assert learned < 0.75 * plain
+    # Throughput is not sacrificed for the traffic reduction.
+    ys = {s.label: s.points[0].kops_per_sec for s in result.series}
+    assert ys["declared clusters"] > 0.8 * ys["no clustering"]
+    assert ys["learned clusters"] > 0.8 * ys["no clustering"]

@@ -1,0 +1,49 @@
+"""E4 — cache-packing algorithm cost (the paper's Θ(n log n) claim).
+
+This is the one genuinely wall-clock benchmark: pytest-benchmark times
+the packing algorithm itself, and the scaling assertion checks that
+doubling n never quadruples the time (i.e. it is sub-quadratic, as an
+n log n algorithm must be).
+"""
+
+from repro.bench.figures import packing_complexity
+from repro.bench.report import save_report
+from repro.core.object_table import CtObject
+from repro.core.packing import make_budgets, pack
+
+
+def _objects(n):
+    objs = []
+    for index in range(n):
+        obj = CtObject(f"o{index}", index * 4096,
+                       2048 + (index % 7) * 512)
+        obj.heat = float((index * 2654435761) % 1000)
+        objs.append(obj)
+    return objs
+
+
+def test_pack_wall_clock(benchmark):
+    objs = _objects(4000)
+
+    def run():
+        return pack(objs, make_budgets(1 << 20, 16))
+
+    result = benchmark(run)
+    assert len(result.placed) + len(result.unplaced) == 4000
+
+
+def test_packing_scaling(benchmark, once, capsys):
+    result = once(benchmark, packing_complexity,
+                  ns=(4000, 8000, 16000), repeats=3)
+    save_report(result.name, result.report)
+    with capsys.disabled():
+        print()
+        print(result.report)
+    # All three sizes are past the point where the budgets saturate (the
+    # per-object cost regime change from 1 to n_cores budget probes), so
+    # doubling n must no more than ~double-and-a-bit the time.  A
+    # quadratic algorithm would quadruple it.
+    seconds = result.details["seconds"]
+    for smaller, larger in zip(seconds, seconds[1:]):
+        assert larger < smaller * 3.0, (
+            f"packing scaling looks super-linearithmic: {seconds}")

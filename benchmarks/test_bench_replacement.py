@@ -1,0 +1,23 @@
+"""E9 — replacement policy for working sets beyond on-chip memory
+(§6.2): keep the currently-frequent objects on-chip."""
+
+from repro.bench.figures import replacement_ablation
+from repro.bench.report import save_report
+
+
+def test_lfu_replacement(benchmark, once, capsys):
+    result = once(benchmark, replacement_ablation, n_dirs=1024)
+    save_report(result.name, result.report)
+    with capsys.disabled():
+        print()
+        print(result.report)
+
+    firstfit = result.series_by_label("coretime-firstfit")
+    lfu = result.series_by_label("coretime+lfu")
+
+    # The LFU policy tracks the shifting hot set; frozen first-fit
+    # cannot.
+    assert (lfu.points[0].kops_per_sec
+            > 1.15 * firstfit.points[0].kops_per_sec)
+    # And evictions really happened.
+    assert lfu.points[0].scheduler_stats["lfu_evictions"] > 0

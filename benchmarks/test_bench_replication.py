@@ -1,0 +1,34 @@
+"""E8 — replicating hot read-only objects (§6.2).
+
+The trade-off the paper sketches: replication helps while cache budget is
+plentiful (shorter migrations, more parallelism on hot objects) and stops
+helping when replicas displace distinct objects.
+"""
+
+from repro.bench.figures import replication_ablation
+from repro.bench.report import save_report
+
+
+def test_replication_tradeoff(benchmark, once, capsys):
+    result = once(benchmark, replication_ablation,
+                  n_objects_list=(96, 448))
+    save_report(result.name, result.report)
+    with capsys.disabled():
+        print()
+        print(result.report)
+
+    plain = result.series_by_label("coretime")
+    replicated = result.series_by_label("coretime+replication")
+
+    small_gain = (replicated.points[0].kops_per_sec
+                  / plain.points[0].kops_per_sec)
+    large_gain = (replicated.points[1].kops_per_sec
+                  / plain.points[1].kops_per_sec)
+
+    # With few objects, replication pays.
+    assert small_gain > 1.05, f"replication gain {small_gain:.2f}"
+    # Under capacity pressure the advantage shrinks or reverses —
+    # "other times it might be better to schedule more distinct objects".
+    assert large_gain < small_gain
+    # Replicas were actually created.
+    assert replicated.points[0].scheduler_stats["replicas_created"] > 0

@@ -1,0 +1,60 @@
+"""Microbenchmarks of the simulator substrate itself.
+
+Not a paper figure — these track the cost of the simulation machinery
+(engine steps, cache-model line accesses, batched scans) so regressions
+in the substrate don't silently stretch every figure's wall-clock.
+"""
+
+from repro.cpu.machine import Machine
+from repro.cpu.topology import MachineSpec
+from repro.sched.thread_sched import ThreadScheduler
+from repro.sim.engine import Simulator
+from repro.threads.program import Compute, Load, Scan
+
+
+def _machine():
+    return Machine(MachineSpec.scaled(8))
+
+
+def test_engine_step_rate(benchmark):
+    """Compute-only steps: pure engine overhead."""
+    def run():
+        machine = _machine()
+        sim = Simulator(machine, ThreadScheduler())
+        def program():
+            while True:
+                yield Compute(100)
+        for core in range(machine.n_cores):
+            sim.spawn(program(), core_id=core)
+        sim.run(until=200_000)
+        return sim.total_steps
+    steps = benchmark(run)
+    # ~2000 computes per core; the horizon boundary allows one extra.
+    assert abs(steps - 16 * 2000) <= 16 * 2
+
+
+def test_cache_load_rate(benchmark):
+    """Single-line loads through the full hierarchy."""
+    def run():
+        machine = _machine()
+        memory = machine.memory
+        for i in range(20_000):
+            memory.load(i % 4, (i * 64) % (1 << 20), i)
+        return memory.counters[0].loads
+    loads = benchmark(run)
+    assert loads > 0
+
+
+def test_scan_throughput(benchmark):
+    """Batched scans (the workload hot path)."""
+    def run():
+        machine = _machine()
+        sim = Simulator(machine, ThreadScheduler())
+        def program():
+            while True:
+                yield Scan(0, 64 * 64)     # 64 lines
+        sim.spawn(program(), core_id=0)
+        sim.run(max_steps=2000)
+        return machine.memory.counters[0].loads
+    lines = benchmark(run)
+    assert lines == 2000 * 64

@@ -1,0 +1,14 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``wheel`` for PEP 660
+editable builds; offline environments that lack it can use the legacy
+route this file enables::
+
+    python setup.py develop
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

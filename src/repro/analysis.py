@@ -1,0 +1,94 @@
+"""Multi-seed statistics for simulation experiments.
+
+Single runs of a stochastic workload are point estimates; this module
+runs an experiment across seeds and reports mean, spread, and whether a
+speedup is robust.  Pure Python (no numpy dependency on the hot path) so
+the core library stays importable anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Summary of repeated measurements."""
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        return self.stdev / math.sqrt(self.n) if self.n > 1 else 0.0
+
+    def ci95(self) -> tuple:
+        """~95% confidence interval (normal approximation)."""
+        half = 1.96 * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        low, high = self.ci95()
+        return (f"{self.mean:,.1f} +/- {1.96 * self.stderr:,.1f} "
+                f"(n={self.n}, range {self.minimum:,.1f}"
+                f"..{self.maximum:,.1f})")
+
+
+def summarise(values: Sequence[float]) -> SampleStats:
+    if not values:
+        raise ValueError("no samples")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    return SampleStats(n=n, mean=mean, stdev=math.sqrt(variance),
+                       minimum=min(values), maximum=max(values))
+
+
+def run_seeds(experiment: Callable[[int], float],
+              seeds: Sequence[int]) -> SampleStats:
+    """Run ``experiment(seed)`` for every seed and summarise."""
+    return summarise([experiment(seed) for seed in seeds])
+
+
+@dataclass(frozen=True)
+class SpeedupResult:
+    """Comparison of two measured configurations across shared seeds."""
+
+    baseline: SampleStats
+    candidate: SampleStats
+    per_seed_ratios: List[float]
+
+    @property
+    def mean_speedup(self) -> float:
+        ratios = self.per_seed_ratios
+        return sum(ratios) / len(ratios)
+
+    @property
+    def robust(self) -> bool:
+        """True when the candidate wins on every seed."""
+        return all(ratio > 1.0 for ratio in self.per_seed_ratios)
+
+    def __str__(self) -> str:
+        flag = "robust" if self.robust else "mixed"
+        return (f"speedup {self.mean_speedup:.2f}x ({flag}; "
+                f"ratios {['%.2f' % r for r in self.per_seed_ratios]})")
+
+
+def compare(baseline: Callable[[int], float],
+            candidate: Callable[[int], float],
+            seeds: Sequence[int]) -> SpeedupResult:
+    """Paired comparison: each seed measured under both configurations."""
+    base_values = [baseline(seed) for seed in seeds]
+    cand_values = [candidate(seed) for seed in seeds]
+    ratios = [c / b if b else float("inf")
+              for b, c in zip(base_values, cand_values)]
+    return SpeedupResult(summarise(base_values), summarise(cand_values),
+                         ratios)

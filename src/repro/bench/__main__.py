@@ -1,0 +1,51 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``.
+
+Regenerates any figure or ablation from DESIGN.md §4 and writes the text
+report to ``benchmarks/results/``.  ``all`` runs everything; ``--full``
+uses the long profile for the two paper figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import EXPERIMENTS
+from repro.bench.report import save_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures and the ablations.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which experiment to run")
+    parser.add_argument("--full", action="store_true",
+                        help="long profile (more points, longer windows) "
+                             "for fig4a/fig4b")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print the report file paths")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        runner = EXPERIMENTS[name]
+        kwargs = {}
+        if name in ("fig4a", "fig4b"):
+            kwargs["profile"] = "full" if args.full else "quick"
+        started = time.perf_counter()
+        result = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        path = save_report(result.name, result.report)
+        if not args.quiet:
+            print(result.report)
+            print()
+        print(f"[{name}] {elapsed:.1f}s -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Terminal line plots for benchmark figures.
+
+The paper's figures are throughput-vs-data-size curves; :func:`plot`
+renders the same curves as ASCII so every benchmark's output is
+self-contained in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_MARKERS = "o+x*#@%"
+
+
+def plot(xs: Sequence[float], series: Sequence[Sequence[float]],
+         labels: Sequence[str], width: int = 64, height: int = 18,
+         title: str = "", x_label: str = "", y_label: str = "") -> str:
+    """Render one or more y-series over shared xs as an ASCII chart."""
+    if not xs or not series:
+        return "(no data)"
+    y_max = max((max(ys) for ys in series if ys), default=1.0) or 1.0
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, ys in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / x_span * (width - 1))
+            row = int((1.0 - y / y_max) * (height - 1))
+            row = min(height - 1, max(0, row))
+            grid[row][col] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            axis_label = f"{y_max:>10,.0f} |"
+        elif row_index == height - 1:
+            axis_label = f"{0:>10,.0f} |"
+        else:
+            axis_label = " " * 11 + "|"
+        lines.append(axis_label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    left = f"{x_min:,.0f}"
+    right = f"{x_max:,.0f}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * 12 + left + " " * pad + right)
+    if x_label:
+        lines.append(" " * 12 + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(labels))
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)

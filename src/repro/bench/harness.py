@@ -1,0 +1,174 @@
+"""Benchmark harness: one measured point and parameter sweeps.
+
+Every figure and ablation reduces to the same experiment: build a machine,
+attach a scheduler, spawn the workload, warm up, measure throughput over a
+window.  :func:`run_point` is that experiment; :func:`sweep` maps it over
+a parameter axis; :data:`SCHEDULERS` names the scheduler configurations
+benchmarks compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.coretime import CoreTimeConfig, CoreTimeScheduler
+from repro.cpu.machine import Machine
+from repro.cpu.topology import MachineSpec
+from repro.errors import ConfigError
+from repro.sched.base import SchedulerRuntime
+from repro.sched.cache_sharing import CacheSharingScheduler
+from repro.sched.thread_clustering import ThreadClusteringScheduler
+from repro.sched.thread_sched import ThreadScheduler
+from repro.sched.work_stealing import WorkStealingScheduler
+from repro.sim.engine import Simulator
+from repro.workloads.dirlookup import DirectoryLookupWorkload, DirWorkloadSpec
+
+#: Default monitoring window used in benchmarks on scaled machines.
+BENCH_MONITOR_INTERVAL = 100_000
+
+SchedulerFactory = Callable[[], SchedulerRuntime]
+
+
+def coretime_factory(**config_changes) -> SchedulerFactory:
+    """Factory for a CoreTime scheduler with benchmark-friendly defaults."""
+    def make() -> CoreTimeScheduler:
+        config = CoreTimeConfig(monitor_interval=BENCH_MONITOR_INTERVAL)
+        if config_changes:
+            config = config.replace(**config_changes)
+        return CoreTimeScheduler(config)
+    return make
+
+
+SCHEDULERS: Dict[str, SchedulerFactory] = {
+    "thread": ThreadScheduler,
+    "work-stealing": WorkStealingScheduler,
+    "thread-clustering": ThreadClusteringScheduler,
+    "cache-sharing": CacheSharingScheduler,
+    "coretime": coretime_factory(),
+    "coretime-norebalance": coretime_factory(rebalance=False),
+}
+
+
+@dataclass
+class BenchPoint:
+    """One measured throughput point."""
+
+    scheduler: str
+    x: float                      # sweep coordinate (e.g. total KB)
+    kops_per_sec: float
+    ops: int
+    migrations: int
+    dram_lines: int
+    cross_chip_messages: int
+    #: Coherence traffic only (transfers + invalidations, no migration
+    #: context payload).
+    cross_chip_data_messages: int = 0
+    scheduler_stats: Dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (f"{self.scheduler:<22} x={self.x:<10g} "
+                f"{self.kops_per_sec:>10,.0f} kops/s")
+
+
+def run_point(machine_spec: MachineSpec,
+              scheduler_factory: SchedulerFactory,
+              workload_spec: DirWorkloadSpec,
+              warmup_cycles: int = 2_000_000,
+              measure_cycles: int = 3_000_000,
+              x: Optional[float] = None,
+              workload_factory=None) -> BenchPoint:
+    """Measure one (machine, scheduler, workload) combination.
+
+    Throughput is counted over the measurement window only, after a
+    warm-up long enough for caches to fill and CoreTime's monitor to
+    assign objects.
+    """
+    if warmup_cycles < 0 or measure_cycles <= 0:
+        raise ConfigError("warmup must be >= 0 and measure window > 0")
+    machine = Machine(machine_spec)
+    scheduler = scheduler_factory()
+    simulator = Simulator(machine, scheduler)
+    if workload_factory is not None:
+        workload = workload_factory(machine, workload_spec)
+    else:
+        workload = DirectoryLookupWorkload(machine, workload_spec)
+    workload.spawn_all(simulator)
+    if warmup_cycles:
+        simulator.run(until=warmup_cycles)
+    interconnect = machine.memory.interconnect
+    ops_before = simulator.total_ops
+    migrations_before = simulator.total_migrations
+    dram_before = machine.memory.dram.total_lines_served
+    xchip_before = interconnect.cross_chip_messages()
+    data_before = interconnect.data_messages()
+    simulator.run(until=warmup_cycles + measure_cycles)
+    window_ops = simulator.total_ops - ops_before
+    seconds = machine_spec.seconds(measure_cycles)
+    return BenchPoint(
+        scheduler=scheduler.name,
+        x=x if x is not None else workload_spec.total_data_bytes / 1024,
+        kops_per_sec=window_ops / seconds / 1e3,
+        ops=window_ops,
+        migrations=simulator.total_migrations - migrations_before,
+        dram_lines=machine.memory.dram.total_lines_served - dram_before,
+        cross_chip_messages=(
+            interconnect.cross_chip_messages() - xchip_before),
+        cross_chip_data_messages=(
+            interconnect.data_messages() - data_before),
+        scheduler_stats=scheduler.stats(),
+    )
+
+
+@dataclass
+class Series:
+    """One scheduler's curve across a sweep."""
+
+    label: str
+    points: List[BenchPoint]
+
+    @property
+    def xs(self) -> List[float]:
+        return [point.x for point in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [point.kops_per_sec for point in self.points]
+
+    def at(self, x: float) -> BenchPoint:
+        for point in self.points:
+            if point.x == x:
+                return point
+        raise KeyError(f"no point at x={x} in series {self.label}")
+
+
+def sweep(machine_spec: MachineSpec,
+          scheduler_names: Sequence[str],
+          workload_specs: Sequence[DirWorkloadSpec],
+          warmup_cycles: int = 2_000_000,
+          measure_cycles: int = 3_000_000,
+          xs: Optional[Sequence[float]] = None,
+          workload_factory=None,
+          schedulers: Optional[Dict[str, SchedulerFactory]] = None) \
+        -> List[Series]:
+    """Run every scheduler over every workload spec; returns one
+    :class:`Series` per scheduler, in the order given."""
+    registry = schedulers or SCHEDULERS
+    result: List[Series] = []
+    for name in scheduler_names:
+        try:
+            factory = registry[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown scheduler {name!r}; "
+                f"choose from {sorted(registry)}") from None
+        points = []
+        for index, workload_spec in enumerate(workload_specs):
+            x = xs[index] if xs is not None else None
+            points.append(run_point(
+                machine_spec, factory, workload_spec,
+                warmup_cycles=warmup_cycles,
+                measure_cycles=measure_cycles, x=x,
+                workload_factory=workload_factory))
+        result.append(Series(name, points))
+    return result

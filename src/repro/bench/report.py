@@ -1,0 +1,65 @@
+"""Text reports for benchmark results."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.bench.ascii_plot import plot
+from repro.bench.harness import Series
+
+#: Directory where benchmark runs drop their text reports.
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "results")
+
+
+def table(series_list: Sequence[Series], x_header: str = "x") -> str:
+    """Aligned table: one row per x, one column per scheduler."""
+    if not series_list:
+        return "(no data)"
+    xs = series_list[0].xs
+    headers = [x_header] + [s.label for s in series_list]
+    rows: List[List[str]] = []
+    for index, x in enumerate(xs):
+        row = [f"{x:g}"]
+        for series in series_list:
+            row.append(f"{series.points[index].kops_per_sec:,.0f}")
+        if len(series_list) >= 2:
+            base = series_list[0].points[index].kops_per_sec
+            other = series_list[1].points[index].kops_per_sec
+            row.append(f"{other / base:.2f}x" if base else "-")
+        rows.append(row)
+    if len(series_list) >= 2:
+        headers = headers + [f"{series_list[1].label}/{series_list[0].label}"]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def figure_report(title: str, series_list: Sequence[Series],
+                  x_label: str, y_label: str,
+                  notes: Optional[str] = None) -> str:
+    """Complete text report: chart + table + notes."""
+    xs = series_list[0].xs if series_list else []
+    chart = plot(xs, [s.ys for s in series_list],
+                 [s.label for s in series_list],
+                 title=title, x_label=x_label, y_label=y_label)
+    parts = [chart, "", table(series_list, x_header=x_label)]
+    if notes:
+        parts.extend(["", notes])
+    return "\n".join(parts)
+
+
+def save_report(name: str, text: str) -> str:
+    """Write a report under ``benchmarks/results/``; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path

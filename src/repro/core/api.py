@@ -1,0 +1,49 @@
+"""Annotation-style public API.
+
+The paper's interface is two C annotations, ``ct_start(o)`` and
+``ct_end()``.  In our generator-based programs those are instruction items
+(:class:`~repro.threads.program.CtStart` /
+:class:`~repro.threads.program.CtEnd`); this module provides the
+programmer-facing sugar:
+
+* :func:`ct_object` — declare a schedulable object over an address range;
+* :func:`operation` — a sub-generator bracketing a body of items with
+  ``ct_start`` / ``ct_end`` so forgetting the end bracket is impossible:
+
+.. code-block:: python
+
+    def program():
+        while True:
+            yield from operation(obj, body(obj))
+
+The method-invocation alternative the paper mentions (migrate for a whole
+method) is :func:`method_operation`, which wraps a complete item generator
+as one operation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.core.object_table import CtObject
+from repro.threads.program import CtEnd, CtStart
+
+
+def ct_object(name: str, addr: int, size: int, read_only: bool = False,
+              cluster_key: Optional[str] = None) -> CtObject:
+    """Declare a schedulable object (address + extent identify it)."""
+    return CtObject(name, addr, size, read_only=read_only,
+                    cluster_key=cluster_key)
+
+
+def operation(obj: CtObject, body: Iterable) -> Iterator:
+    """Bracket ``body``'s items with ``ct_start(obj)`` … ``ct_end()``."""
+    yield CtStart(obj)
+    yield from body
+    yield CtEnd()
+
+
+# The paper's "alternative interface around method invocations" is the
+# same bracketing applied to a whole method body; the distinction in the
+# simulator is purely documentary.
+method_operation = operation

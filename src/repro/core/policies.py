@@ -1,0 +1,124 @@
+"""Placement policies from the paper's §6.2 ("O2 Improvements").
+
+The preliminary CoreTime design assigns each object to exactly one core
+and stops assigning when caches are full.  §6.2 sketches two refinements,
+both implemented here as pluggable policies and measured by benchmarks E8
+and E9:
+
+* **Replication** — "sometimes it is better to replicate read-only objects
+  and other times it might be better to schedule more distinct objects."
+  :class:`ReplicationPolicy` replicates very hot read-only objects one
+  replica per chip, trading cache capacity for shorter migrations.
+* **Replacement** — "working sets larger than the total on-chip memory…
+  O2 schedulers might want a cache replacement policy that stores the
+  objects accessed most frequently on-chip."  :class:`LfuReplacement`
+  evicts the least-frequently-used assigned object when a hotter object
+  arrives and no budget is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.object_table import CtObject, ObjectTable
+from repro.core.packing import CacheBudget
+from repro.cpu.topology import MachineSpec
+
+
+@dataclass
+class ReplicationPolicy:
+    """Replicate hot read-only objects across chips."""
+
+    enabled: bool = False
+    #: An object is replication-worthy when its heat exceeds the mean
+    #: heat by this factor.
+    heat_factor: float = 4.0
+    #: Upper bound on replicas (defaults to one per chip at apply time).
+    max_replicas: int = 4
+    replicas_created: int = 0
+
+    def wants_replicas(self, obj: CtObject, mean_heat: float) -> bool:
+        if not self.enabled or not obj.read_only:
+            return False
+        if mean_heat <= 0:
+            return False
+        return obj.heat >= self.heat_factor * mean_heat
+
+    def replicate(self, obj: CtObject, table: ObjectTable,
+                  budgets: Sequence[CacheBudget],
+                  spec: MachineSpec) -> List[int]:
+        """Add replicas of ``obj``, at most one per chip, budget allowing.
+
+        Returns the cores replicas were added to.
+        """
+        if not obj.assigned:
+            return []
+        size = obj.footprint_bytes(spec.line_size)
+        have_chips = {spec.chip_of(core) for core in obj.assigned_cores}
+        added: List[int] = []
+        budget_by_core = {budget.core_id: budget for budget in budgets}
+        limit = min(self.max_replicas, spec.n_chips)
+        for chip in range(spec.n_chips):
+            if len(obj.assigned_cores) >= limit:
+                break
+            if chip in have_chips:
+                continue
+            # Emptiest budget on this chip.
+            candidates = [budget_by_core[c] for c in spec.cores_of_chip(chip)]
+            best = max(candidates, key=lambda budget: budget.free_bytes)
+            if not best.fits(size):
+                continue
+            best.charge(size)
+            table.assign(obj, best.core_id)
+            added.append(best.core_id)
+            have_chips.add(chip)
+            self.replicas_created += 1
+        return added
+
+    @staticmethod
+    def choose_replica(obj: CtObject, core_chip: int,
+                       spec: MachineSpec) -> int:
+        """Replica nearest to the requesting core's chip."""
+        return min(
+            obj.assigned_cores,
+            key=lambda core: (spec.chip_distance(core_chip,
+                                                 spec.chip_of(core)),
+                              core))
+
+
+@dataclass
+class LfuReplacement:
+    """Evict the coldest assigned object to admit a hotter one."""
+
+    enabled: bool = False
+    #: New object must be hotter than the victim by this factor.
+    margin: float = 1.5
+    evictions: int = 0
+
+    def try_make_room(self, obj: CtObject, table: ObjectTable,
+                      budgets: Sequence[CacheBudget],
+                      line_size: int) -> Optional[int]:
+        """Evict victims until ``obj`` fits somewhere; returns the core
+        with room, or None if ``obj`` is not hot enough to displace
+        anything."""
+        if not self.enabled:
+            return None
+        size = obj.footprint_bytes(line_size)
+        budget_by_core = {budget.core_id: budget for budget in budgets}
+        victims = sorted(
+            (candidate for candidate in table.objects()
+             if candidate is not obj),
+            key=lambda candidate: (candidate.heat, candidate.oid))
+        for victim in victims:
+            if victim.heat * self.margin >= obj.heat:
+                return None  # nothing cold enough — keep the status quo
+            victim_size = victim.footprint_bytes(line_size)
+            for core in list(victim.assigned_cores):
+                budget = budget_by_core[core]
+                table.unassign(victim, core)
+                budget.refund(victim_size)
+                self.evictions += 1
+                if budget.fits(size):
+                    return core
+        return None

@@ -1,0 +1,13 @@
+"""CPU topology and machine assembly."""
+
+from repro.cpu.core import Core
+from repro.cpu.machine import Machine
+from repro.cpu.topology import DEFAULT_LINE_SIZE, LatencySpec, MachineSpec
+
+__all__ = [
+    "Core",
+    "DEFAULT_LINE_SIZE",
+    "LatencySpec",
+    "Machine",
+    "MachineSpec",
+]

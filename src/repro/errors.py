@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A machine or workload specification is inconsistent.
+
+    Examples: a cache smaller than one line, zero cores per chip, or a
+    latency table missing an entry.
+    """
+
+
+class AddressError(ReproError):
+    """An address is outside the allocated simulated address space."""
+
+
+class AllocationError(ReproError):
+    """The simulated address-space allocator ran out of room."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible state.
+
+    This indicates a bug in a scheduler or workload program rather than a
+    user mistake — for example a thread releasing a lock it does not hold,
+    or a core stepping a thread that is not assigned to it.
+    """
+
+
+class DeadlockError(SimulationError):
+    """All cores are idle, no events are pending, and work remains."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler produced an invalid decision (e.g. an unknown core id)."""
+
+
+class PackingError(ReproError):
+    """The cache-packing algorithm was given unsatisfiable input."""
+
+
+class FilesystemError(ReproError):
+    """An error in the simulated FAT file-system image."""
+
+
+class LookupError_(FilesystemError):
+    """A file name was not found in a directory.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``LookupError``; exported as :data:`repro.fs.FileNotFound`.
+    """

@@ -1,0 +1,39 @@
+"""FAT file system substrate (the paper's modified EFSL)."""
+
+from repro.errors import FilesystemError
+from repro.fs.check import FsckReport, fsck
+from repro.fs.directory import (ATTR_ARCHIVE, ATTR_DIRECTORY, DirEntry,
+                                FatDirectory)
+from repro.fs.efsl import DEFAULT_COMPARE_CYCLES, EfslFat, SimDirectory
+from repro.fs.fat import (DIR_ENTRY_SIZE, EOC, FIRST_CLUSTER, FREE,
+                          FatImage, FatParams)
+from repro.fs.image import FatFilesystem
+from repro.fs.names import decode_name, dir_name, encode_name, file_name
+
+#: Friendlier alias for the lookup-failure error.
+FileNotFound = FilesystemError
+
+__all__ = [
+    "ATTR_ARCHIVE",
+    "ATTR_DIRECTORY",
+    "DEFAULT_COMPARE_CYCLES",
+    "DIR_ENTRY_SIZE",
+    "DirEntry",
+    "EOC",
+    "EfslFat",
+    "FIRST_CLUSTER",
+    "FREE",
+    "FatDirectory",
+    "FatFilesystem",
+    "FatImage",
+    "FatParams",
+    "FileNotFound",
+    "FilesystemError",
+    "FsckReport",
+    "fsck",
+    "SimDirectory",
+    "decode_name",
+    "dir_name",
+    "encode_name",
+    "file_name",
+]

@@ -1,0 +1,223 @@
+"""A FAT16-style in-memory file-system image.
+
+The paper's evaluation substrate is "derived from the EFSL FAT
+implementation, modified to use an in-memory image rather than disk
+operations" (§5).  :class:`FatImage` is our equivalent: a real byte image
+with a boot parameter block, a file-allocation table of 16-bit cluster
+links, and a data region of clusters.  Directory contents are genuine
+32-byte FAT entries, so "each entry uses 32 bytes of memory" holds by
+construction.
+
+The image is pure data — it knows nothing about the simulator.  The
+simulation adapter (:mod:`repro.fs.efsl`) maps image offsets into the
+simulated address space and charges memory costs for walking it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import FilesystemError
+
+#: FAT16 cluster-chain terminator (any value >= 0xFFF8).
+EOC = 0xFFFF
+#: Marker for a free cluster.
+FREE = 0x0000
+#: First allocatable cluster number (0 and 1 are reserved in FAT).
+FIRST_CLUSTER = 2
+
+#: Size of one directory entry, fixed by the FAT format (and quoted by the
+#: paper: "each entry uses 32 bytes of memory").
+DIR_ENTRY_SIZE = 32
+
+
+@dataclass(frozen=True)
+class FatParams:
+    """Geometry of a FAT image."""
+
+    bytes_per_sector: int = 512
+    sectors_per_cluster: int = 8
+    reserved_sectors: int = 1
+    n_fats: int = 1
+    root_entries: int = 512
+    n_clusters: int = 4096
+
+    @property
+    def cluster_bytes(self) -> int:
+        return self.bytes_per_sector * self.sectors_per_cluster
+
+    @property
+    def fat_bytes(self) -> int:
+        # 2 bytes per cluster entry, plus the two reserved slots.
+        return 2 * (self.n_clusters + FIRST_CLUSTER)
+
+    @property
+    def root_dir_bytes(self) -> int:
+        return self.root_entries * DIR_ENTRY_SIZE
+
+    @property
+    def fat_offset(self) -> int:
+        return self.reserved_sectors * self.bytes_per_sector
+
+    @property
+    def root_dir_offset(self) -> int:
+        return self.fat_offset + self.n_fats * self.fat_bytes
+
+    @property
+    def data_offset(self) -> int:
+        return self.root_dir_offset + self.root_dir_bytes
+
+    @property
+    def image_bytes(self) -> int:
+        return self.data_offset + self.n_clusters * self.cluster_bytes
+
+    def validate(self) -> None:
+        if self.bytes_per_sector % DIR_ENTRY_SIZE:
+            raise FilesystemError("sector size must hold whole entries")
+        if self.sectors_per_cluster < 1 or self.n_clusters < 1:
+            raise FilesystemError("need at least one sector and cluster")
+        if self.n_clusters > 0xFFF0 - FIRST_CLUSTER:
+            raise FilesystemError("too many clusters for FAT16 links")
+
+    @classmethod
+    def sized_for(cls, data_bytes: int, root_entries: int = 512,
+                  cluster_bytes: int = 4096) -> "FatParams":
+        """Geometry with enough clusters for ``data_bytes`` of payload."""
+        sectors_per_cluster = max(1, cluster_bytes // 512)
+        cluster_bytes = 512 * sectors_per_cluster
+        n_clusters = max(4, -(-data_bytes // cluster_bytes) + 2)
+        params = cls(sectors_per_cluster=sectors_per_cluster,
+                     root_entries=root_entries, n_clusters=n_clusters)
+        params.validate()
+        return params
+
+
+class FatImage:
+    """The raw image plus cluster-chain operations."""
+
+    def __init__(self, params: FatParams) -> None:
+        params.validate()
+        self.params = params
+        self.data = bytearray(params.image_bytes)
+        self._write_boot_sector()
+        self._next_free = FIRST_CLUSTER
+
+    # ------------------------------------------------------------------
+    # boot sector
+    # ------------------------------------------------------------------
+
+    def _write_boot_sector(self) -> None:
+        p = self.params
+        struct.pack_into("<3s8sHBHBHH", self.data, 0,
+                         b"\xeb\x3c\x90", b"REPROFAT",
+                         p.bytes_per_sector, p.sectors_per_cluster,
+                         p.reserved_sectors, p.n_fats, p.root_entries,
+                         0)  # total sectors (16-bit slot; 0 = use 32-bit)
+        self.data[510:512] = b"\x55\xaa"
+
+    # ------------------------------------------------------------------
+    # FAT entries
+    # ------------------------------------------------------------------
+
+    def _fat_entry_offset(self, cluster: int) -> int:
+        if not FIRST_CLUSTER <= cluster < FIRST_CLUSTER + self.params.n_clusters:
+            raise FilesystemError(f"cluster {cluster} out of range")
+        return self.params.fat_offset + 2 * cluster
+
+    def fat_read(self, cluster: int) -> int:
+        offset = self._fat_entry_offset(cluster)
+        return struct.unpack_from("<H", self.data, offset)[0]
+
+    def fat_write(self, cluster: int, value: int) -> None:
+        offset = self._fat_entry_offset(cluster)
+        struct.pack_into("<H", self.data, offset, value)
+
+    # ------------------------------------------------------------------
+    # cluster allocation
+    # ------------------------------------------------------------------
+
+    def alloc_cluster(self) -> int:
+        limit = FIRST_CLUSTER + self.params.n_clusters
+        cluster = self._next_free
+        while cluster < limit and self.fat_read(cluster) != FREE:
+            cluster += 1
+        if cluster >= limit:
+            raise FilesystemError("image out of clusters")
+        self._next_free = cluster + 1
+        self.fat_write(cluster, EOC)
+        return cluster
+
+    def alloc_chain(self, n_clusters: int) -> int:
+        """Allocate a chain of ``n_clusters``; returns the first cluster."""
+        if n_clusters < 1:
+            raise FilesystemError("chain needs at least one cluster")
+        first = self.alloc_cluster()
+        previous = first
+        for _ in range(n_clusters - 1):
+            cluster = self.alloc_cluster()
+            self.fat_write(previous, cluster)
+            previous = cluster
+        return first
+
+    def chain(self, first_cluster: int) -> List[int]:
+        """Follow a cluster chain to its end-of-chain marker."""
+        clusters = []
+        cluster = first_cluster
+        seen = set()
+        while cluster < 0xFFF8:
+            if cluster in seen:
+                raise FilesystemError(
+                    f"cluster chain cycle at {cluster}")
+            seen.add(cluster)
+            clusters.append(cluster)
+            cluster = self.fat_read(cluster)
+        return clusters
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+
+    def cluster_offset(self, cluster: int) -> int:
+        """Byte offset of a cluster's data in the image."""
+        if cluster < FIRST_CLUSTER:
+            raise FilesystemError(f"cluster {cluster} is reserved")
+        index = cluster - FIRST_CLUSTER
+        return self.params.data_offset + index * self.params.cluster_bytes
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        if offset < 0 or offset + nbytes > len(self.data):
+            raise FilesystemError(
+                f"read [{offset}, {offset + nbytes}) outside image")
+        return bytes(self.data[offset:offset + nbytes])
+
+    def write(self, offset: int, payload: bytes) -> None:
+        if offset < 0 or offset + len(payload) > len(self.data):
+            raise FilesystemError(
+                f"write [{offset}, {offset + len(payload)}) outside image")
+        self.data[offset:offset + len(payload)] = payload
+
+    def chain_extents(self, first_cluster: int) -> List[tuple]:
+        """Contiguous (offset, nbytes) runs covering a cluster chain.
+
+        Sequentially allocated chains collapse to a single extent; a
+        fragmented chain yields one extent per contiguous run.
+        """
+        clusters = self.chain(first_cluster)
+        if not clusters:
+            return []
+        cluster_bytes = self.params.cluster_bytes
+        extents = []
+        run_start = clusters[0]
+        run_length = 1
+        for cluster in clusters[1:]:
+            if cluster == run_start + run_length:
+                run_length += 1
+            else:
+                extents.append((self.cluster_offset(run_start),
+                                run_length * cluster_bytes))
+                run_start, run_length = cluster, 1
+        extents.append((self.cluster_offset(run_start),
+                        run_length * cluster_bytes))
+        return extents

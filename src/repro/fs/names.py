@@ -1,0 +1,47 @@
+"""FAT 8.3 short-name handling.
+
+FAT directory entries store names as 11 bytes: 8 name characters plus a
+3-character extension, space padded, upper case.  These helpers encode,
+decode and validate short names, and generate the synthetic names the
+benchmarks populate directories with.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FilesystemError
+
+_VALID = set("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789!#$%&'()-@^_`{}~")
+
+
+def encode_name(name: str) -> bytes:
+    """Encode ``NAME.EXT`` (or ``NAME``) into the 11-byte FAT form."""
+    name = name.upper()
+    if "." in name:
+        stem, _, ext = name.rpartition(".")
+    else:
+        stem, ext = name, ""
+    if not stem or len(stem) > 8 or len(ext) > 3:
+        raise FilesystemError(f"invalid 8.3 name: {name!r}")
+    for char in stem + ext:
+        if char not in _VALID:
+            raise FilesystemError(f"invalid character {char!r} in {name!r}")
+    return (stem.ljust(8) + ext.ljust(3)).encode("ascii")
+
+
+def decode_name(raw: bytes) -> str:
+    """Decode an 11-byte FAT name field back into ``NAME.EXT`` form."""
+    if len(raw) != 11:
+        raise FilesystemError(f"name field must be 11 bytes, got {len(raw)}")
+    stem = raw[:8].decode("ascii", "replace").rstrip()
+    ext = raw[8:].decode("ascii", "replace").rstrip()
+    return f"{stem}.{ext}" if ext else stem
+
+
+def file_name(index: int) -> str:
+    """Synthetic file name for entry ``index`` (stable across runs)."""
+    return f"F{index:07d}.DAT"
+
+
+def dir_name(index: int) -> str:
+    """Synthetic directory name ``index`` (stable across runs)."""
+    return f"DIR{index:05d}"

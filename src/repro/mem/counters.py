@@ -1,0 +1,128 @@
+"""Simulated hardware event counters.
+
+CoreTime's runtime decisions are driven entirely by event counters (§4,
+"Runtime monitoring"): per-object cache-miss counts decide which objects
+are expensive to fetch, and per-core idle-cycle / DRAM-load / L2-load
+counts decide when to rebalance.  :class:`CoreCounters` is the per-core
+counter bank the memory system and engine update on the hot path, and
+:class:`CounterSnapshot` supports the delta arithmetic the monitor uses
+("misses between a pair of CoreTime annotations").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Counter names in a fixed order (snapshot/delta rely on it).
+COUNTER_FIELDS = (
+    "l1_hits",
+    "l2_hits",
+    "l3_hits",
+    "remote_hits",
+    "dram_loads",
+    "stores",
+    "invalidations",
+    "lock_acquires",
+    "lock_spins",
+    "migrations_in",
+    "migrations_out",
+    "idle_cycles",
+    "busy_cycles",
+    "mem_cycles",
+    "ops_completed",
+)
+
+
+class CoreCounters:
+    """Event counters for one core.  All fields are monotonically
+    non-decreasing within a run."""
+
+    __slots__ = COUNTER_FIELDS + ("core_id",)
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        for field in COUNTER_FIELDS:
+            setattr(self, field, 0)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def loads(self) -> int:
+        """Total line loads observed by this core."""
+        return (self.l1_hits + self.l2_hits + self.l3_hits
+                + self.remote_hits + self.dram_loads)
+
+    @property
+    def l1_misses(self) -> int:
+        """Loads that missed the L1 (the paper's per-object miss signal)."""
+        return self.loads - self.l1_hits
+
+    @property
+    def offcore_loads(self) -> int:
+        """Loads served beyond the core's private caches."""
+        return self.l3_hits + self.remote_hits + self.dram_loads
+
+    def snapshot(self) -> "CounterSnapshot":
+        return CounterSnapshot(
+            tuple(getattr(self, field) for field in COUNTER_FIELDS))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in COUNTER_FIELDS}
+
+    def reset(self) -> None:
+        for field in COUNTER_FIELDS:
+            setattr(self, field, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        busy = self.busy_cycles
+        return (f"CoreCounters(core={self.core_id}, loads={self.loads}, "
+                f"dram={self.dram_loads}, idle={self.idle_cycles}, "
+                f"busy={busy})")
+
+
+class CounterSnapshot:
+    """Immutable copy of a counter bank, supporting subtraction."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: tuple) -> None:
+        self.values = values
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self.values[COUNTER_FIELDS.index(name)]
+        except ValueError:
+            raise AttributeError(name) from None
+
+    def __sub__(self, older: "CounterSnapshot") -> "CounterDelta":
+        return CounterDelta(tuple(
+            new - old for new, old in zip(self.values, older.values)))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(zip(COUNTER_FIELDS, self.values))
+
+
+class CounterDelta(CounterSnapshot):
+    """Difference between two snapshots of the same counter bank."""
+
+    @property
+    def loads(self) -> int:
+        return (self.l1_hits + self.l2_hits + self.l3_hits
+                + self.remote_hits + self.dram_loads)
+
+    @property
+    def l1_misses(self) -> int:
+        return self.loads - self.l1_hits
+
+    @property
+    def offcore_loads(self) -> int:
+        return self.l3_hits + self.remote_hits + self.dram_loads
+
+
+def aggregate(banks: List[CoreCounters]) -> Dict[str, int]:
+    """Sum counters across cores (for machine-wide reporting)."""
+    totals = {field: 0 for field in COUNTER_FIELDS}
+    for bank in banks:
+        for field in COUNTER_FIELDS:
+            totals[field] += getattr(bank, field)
+    return totals

@@ -1,0 +1,134 @@
+"""Off-chip DRAM model: latency plus memory-controller bandwidth.
+
+The paper's core prediction is that compute will outgrow off-chip
+bandwidth, so the simulator makes bandwidth an explicit, contendable
+resource.  Each chip owns one :class:`MemoryController`; every line
+fetched from that chip's DRAM bank adds ``dram_occupancy`` cycles of
+demand, and requests are delayed by an M/D/1-style queueing term derived
+from the controller's recent utilisation — so 16 cores streaming from
+DRAM slow each other down, exactly the saturation effect CoreTime's
+partitioning avoids.
+
+Utilisation is tracked as an exponentially decayed demand sum rather than
+an absolute ``busy-until`` timestamp: cores' clocks are only loosely
+synchronised (scans execute atomically — see DESIGN.md), and a stateful
+absolute reservation would let one core's in-flight scan appear to block
+another core thousands of cycles into its past.  The decayed-load model
+is immune to that skew, deterministic, and has the right limits: zero
+delay when idle, unbounded-ish delay approaching saturation.
+
+Sequential streams get a ``dram_stream`` per-line cost instead of the
+full ``dram_base`` latency, modelling the hardware prefetcher that makes
+linear directory scans cheaper than pointer chasing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.cpu.topology import LatencySpec, MachineSpec
+
+#: Time constant (cycles) of the utilisation estimate's exponential decay.
+UTILISATION_TAU = 4096.0
+#: Utilisation is capped here so the queueing term stays finite; past
+#: this point latency inflation throttles throughput to the controller's
+#: capacity region.
+UTILISATION_CAP = 0.97
+
+
+class MemoryController:
+    """One chip's memory controller / DRAM channel."""
+
+    __slots__ = ("chip_id", "occupancy", "clock", "demand",
+                 "lines_served", "queued_cycles")
+
+    def __init__(self, chip_id: int, occupancy: int) -> None:
+        self.chip_id = chip_id
+        self.occupancy = occupancy
+        #: Monotone internal clock (max request time seen).
+        self.clock = 0
+        #: Exponentially decayed demand, in cycles of occupancy.
+        self.demand = 0.0
+        self.lines_served = 0
+        self.queued_cycles = 0
+
+    def service(self, now: int, transfer_latency: int) -> int:
+        """Serve one line at time ``now``; return total latency in cycles.
+
+        ``transfer_latency`` is the raw access latency (base or stream);
+        a queueing delay proportional to rho/(1-rho) is added when the
+        controller is loaded.
+        """
+        if now > self.clock:
+            self.demand *= math.exp((self.clock - now) / UTILISATION_TAU)
+            self.clock = now
+        self.demand += self.occupancy
+        rho = self.demand / UTILISATION_TAU
+        if rho > UTILISATION_CAP:
+            rho = UTILISATION_CAP
+        queue_delay = int(self.occupancy * rho / (1.0 - rho) * 0.5)
+        self.lines_served += 1
+        self.queued_cycles += queue_delay
+        return queue_delay + transfer_latency
+
+    def utilisation(self, horizon: int) -> float:
+        """Fraction of ``horizon`` cycles the controller was transferring."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.lines_served * self.occupancy / horizon)
+
+    def reset(self) -> None:
+        self.clock = 0
+        self.demand = 0.0
+        self.lines_served = 0
+        self.queued_cycles = 0
+
+
+class Dram:
+    """All memory controllers plus the home-bank mapping.
+
+    Lines are interleaved across chips' DRAM banks by line number, as
+    commodity systems interleave physical pages across controllers.
+    """
+
+    __slots__ = ("spec", "latency", "controllers")
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        self.latency: LatencySpec = spec.latency
+        self.controllers: List[MemoryController] = [
+            MemoryController(chip, spec.latency.dram_occupancy)
+            for chip in range(spec.n_chips)
+        ]
+
+    def home_chip(self, line: int) -> int:
+        """Chip whose DRAM bank holds ``line``."""
+        return line % self.spec.n_chips
+
+    def load(self, line: int, from_chip: int, now: int,
+             sequential: bool) -> int:
+        """Fetch ``line`` from DRAM for a core on ``from_chip``.
+
+        Returns the latency in cycles, including hop distance to the home
+        bank and any controller queueing delay.
+        """
+        bank = line % self.spec.n_chips
+        hops = self.spec.chip_distance(from_chip, bank)
+        if sequential:
+            raw = self.latency.dram_stream + self.latency.dram_hop * hops
+        else:
+            raw = self.latency.dram_base + self.latency.dram_hop * hops
+        return self.controllers[bank].service(now, raw)
+
+    @property
+    def total_lines_served(self) -> int:
+        return sum(c.lines_served for c in self.controllers)
+
+    @property
+    def total_queued_cycles(self) -> int:
+        return sum(c.queued_cycles for c in self.controllers)
+
+    def reset(self) -> None:
+        for controller in self.controllers:
+            controller.reset()

@@ -1,0 +1,78 @@
+"""Cache-content inspection (Figure 2 support).
+
+Figure 2 of the paper is a snapshot of which directories live in which
+caches under the two schedulers.  These helpers compute exactly that from
+a live :class:`~repro.mem.system.MemorySystem`: for an address range, how
+many of its lines each cache currently holds, and which single location
+"owns" the object for presentation purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.mem.system import MemorySystem
+
+#: Location labels used in residency maps.
+OFF_CHIP = "off-chip"
+
+
+def region_residency(memory: MemorySystem, addr: int,
+                     nbytes: int) -> Dict[str, int]:
+    """Lines of ``[addr, addr+nbytes)`` held per location.
+
+    Locations are ``core<N>`` (private L1+L2), ``L3.<chip>``, and
+    ``off-chip`` for lines in no cache.  A line replicated in several
+    caches counts once per location (replication is the point).
+    """
+    line_size = memory.line_size
+    first = addr // line_size
+    last = (addr + nbytes - 1) // line_size
+    counts: Dict[str, int] = {}
+    directory = memory.directory
+    n_cores = memory.spec.n_cores
+    for line in range(first, last + 1):
+        holders = directory.holders(line)
+        if not holders:
+            counts[OFF_CHIP] = counts.get(OFF_CHIP, 0) + 1
+            continue
+        for holder in holders:
+            if holder >= n_cores:
+                label = f"L3.{holder - n_cores}"
+            else:
+                label = f"core{holder}"
+            counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def dominant_location(memory: MemorySystem, addr: int, nbytes: int,
+                      on_chip_threshold: float = 0.7) -> str:
+    """The single location that best describes where the region lives.
+
+    If fewer than ``on_chip_threshold`` of the region's lines are cached
+    anywhere, the region is reported off-chip (it must be fetched from
+    DRAM to be used), matching Figure 2's "off-chip" box.
+    """
+    line_size = memory.line_size
+    total_lines = (addr + nbytes - 1) // line_size - addr // line_size + 1
+    counts = region_residency(memory, addr, nbytes)
+    off = counts.pop(OFF_CHIP, 0)
+    if not counts or (total_lines - off) / total_lines < on_chip_threshold:
+        return OFF_CHIP
+    return max(counts.items(), key=lambda item: (item[1], item[0]))[0]
+
+
+def residency_table(memory: MemorySystem,
+                    regions: List[Tuple[str, int, int]]) -> Dict[str, List[str]]:
+    """Group named regions by dominant location.
+
+    ``regions`` is a list of (name, addr, nbytes).  Returns a mapping
+    location -> sorted names, the shape of Figure 2.
+    """
+    table: Dict[str, List[str]] = {}
+    for name, addr, nbytes in regions:
+        location = dominant_location(memory, addr, nbytes)
+        table.setdefault(location, []).append(name)
+    for names in table.values():
+        names.sort()
+    return table

@@ -1,0 +1,322 @@
+"""The simulated memory hierarchy.
+
+:class:`MemorySystem` is the single authority over cache contents.  It owns
+every cache (per-core L1/L2, per-chip L3), the global sharing directory,
+the DRAM controllers and the interconnect, and exposes three operations to
+cores:
+
+* :meth:`load` / :meth:`store` — one line, demand access;
+* :meth:`scan` — a sequential byte range (a directory search), handled in
+  one call per the design's scan-batching decision.
+
+Cache levels are *exclusive*: a line lives in exactly one level of a core's
+private hierarchy or in a chip's L3, so aggregate on-chip capacity is the
+sum of the levels — matching the paper's arithmetic (16 MB = 4 x 2 MB L3 +
+16 x 512 KB L2).  A load inserts the line at L1 and cascades victims
+downward (L1 -> L2 -> chip L3 -> dropped); a hit in a lower level moves the
+line up and out of that level.
+
+Reads may be satisfied from any remote cache (replicating the line into the
+local hierarchy); stores invalidate every remote copy via the sharing
+directory.  Both effects — replication eating capacity, invalidation
+generating interconnect traffic — are exactly what §1 of the paper blames
+for poor implicit on-chip-memory scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.cpu.topology import MachineSpec
+from repro.errors import ConfigError
+from repro.mem.cache import LRUCache
+from repro.mem.counters import CoreCounters
+from repro.mem.dram import Dram
+from repro.mem.interconnect import Interconnect
+from repro.mem.sharing import SharingDirectory
+
+#: Where a load was satisfied (returned by the internal load path and used
+#: by the scan loop's stream-prefetch logic and by tests).
+SRC_L1 = 0
+SRC_L2 = 1
+SRC_L3 = 2
+SRC_REMOTE = 3
+SRC_DRAM = 4
+
+SOURCE_NAMES = ("L1", "L2", "L3", "REMOTE", "DRAM")
+
+CacheFactory = Callable[[int, str], LRUCache]
+
+
+def _default_cache_factory(capacity: int, cache_id: str) -> LRUCache:
+    return LRUCache(capacity, cache_id)
+
+
+class MemorySystem:
+    """All caches, coherence state, interconnect and DRAM of one machine."""
+
+    def __init__(self, spec: MachineSpec,
+                 cache_factory: CacheFactory = _default_cache_factory) -> None:
+        spec.validate()
+        self.spec = spec
+        self.line_size = spec.line_size
+        n_cores = spec.n_cores
+        self.l1s: List[LRUCache] = [
+            cache_factory(spec.l1_lines, f"L1.{c}") for c in range(n_cores)]
+        self.l2s: List[LRUCache] = [
+            cache_factory(spec.l2_lines, f"L2.{c}") for c in range(n_cores)]
+        self.l3s: List[LRUCache] = [
+            cache_factory(spec.l3_lines, f"L3.{chip}")
+            for chip in range(spec.n_chips)]
+        self.directory = SharingDirectory(n_cores)
+        self.dram = Dram(spec)
+        self.interconnect = Interconnect(spec)
+        self.counters: List[CoreCounters] = [
+            CoreCounters(c) for c in range(n_cores)]
+        # Pre-computed per-core values for the hot path.
+        self._chip_of = [spec.chip_of(c) for c in range(n_cores)]
+        self._lat = spec.latency
+
+    # ------------------------------------------------------------------
+    # single-line operations
+    # ------------------------------------------------------------------
+
+    def load(self, core_id: int, addr: int, now: int) -> int:
+        """Load the line containing ``addr``; return latency in cycles."""
+        latency, _ = self._load_line(
+            core_id, addr // self.line_size, now, sequential=False)
+        self.counters[core_id].mem_cycles += latency
+        return latency
+
+    def store(self, core_id: int, addr: int, now: int) -> int:
+        """Store to the line containing ``addr``; return latency in cycles.
+
+        The line is first brought local (charged like a load), then every
+        remote copy is invalidated.  Invalidations happen in parallel on
+        real hardware, so we charge the slowest one, not the sum.
+        """
+        line = addr // self.line_size
+        latency, _ = self._load_line(core_id, line, now, sequential=False)
+        counters = self.counters[core_id]
+        counters.stores += 1
+        my_holder = core_id  # directory.core_holder(core_id)
+        others = self.directory.holders_excluding(line, my_holder)
+        if others:
+            my_chip = self._chip_of[core_id]
+            worst = 0
+            for holder in others:
+                self._drop_from_holder(line, holder)
+                holder_chip = self.directory.chip_of_holder(
+                    holder, self.spec.cores_per_chip)
+                cost = self.interconnect.invalidate_latency(
+                    my_chip, holder_chip)
+                if cost > worst:
+                    worst = cost
+                counters.invalidations += 1
+            latency += worst
+        counters.mem_cycles += latency
+        return latency
+
+    # ------------------------------------------------------------------
+    # batched sequential scan
+    # ------------------------------------------------------------------
+
+    def scan(self, core_id: int, addr: int, nbytes: int, now: int,
+             per_line_compute: int = 0) -> int:
+        """Sequentially read ``[addr, addr + nbytes)``; return total cycles.
+
+        Consecutive DRAM fetches after the first are charged the stream
+        (prefetched) latency.  ``per_line_compute`` adds fixed compute per
+        line, modelling the entry-compare loop of a directory search.
+        """
+        if nbytes <= 0:
+            return 0
+        line_size = self.line_size
+        first = addr // line_size
+        last = (addr + nbytes - 1) // line_size
+        load_line = self._load_line
+        total = 0
+        stream_run = False
+        for line in range(first, last + 1):
+            latency, source = load_line(core_id, line, now + total,
+                                        stream_run)
+            total += latency + per_line_compute
+            stream_run = source >= SRC_REMOTE
+        self.counters[core_id].mem_cycles += total
+        return total
+
+    def prefetch(self, core_id: int, addr: int, nbytes: int, now: int) -> int:
+        """Warm the local hierarchy with a byte range (no compute cost)."""
+        return self.scan(core_id, addr, nbytes, now)
+
+    # ------------------------------------------------------------------
+    # hot path
+    # ------------------------------------------------------------------
+
+    def _load_line(self, core_id: int, line: int, now: int,
+                   sequential: bool) -> Tuple[int, int]:
+        """Load one line for ``core_id``; return (latency, source)."""
+        counters = self.counters[core_id]
+        lat = self._lat
+        l1 = self.l1s[core_id]
+        if line in l1:
+            l1.touch(line)
+            counters.l1_hits += 1
+            return lat.l1, SRC_L1
+        l2 = self.l2s[core_id]
+        if line in l2:
+            counters.l2_hits += 1
+            l2.remove(line)
+            self._insert_local(core_id, line, already_held=True)
+            return lat.l2, SRC_L2
+        chip = self._chip_of[core_id]
+        l3 = self.l3s[chip]
+        if line in l3:
+            # AMD K10's non-inclusive L3: on a hit, keep the L3 copy when
+            # the line is shared (other private holders exist), so chip-
+            # shared data keeps serving at 75 cycles; hand it over
+            # exclusively when this requester is the only interested
+            # party, so single-reader data (CoreTime-partitioned objects)
+            # does not burn capacity twice.
+            counters.l3_hits += 1
+            if self.directory.sharer_count(line) > 1:
+                l3.touch(line)
+            else:
+                l3.remove(line)
+                self.directory.discard(line, self.directory.l3_holder(chip))
+            self._insert_local(core_id, line, already_held=False)
+            return lat.l3, SRC_L3
+        holder = self._nearest_holder(line, chip)
+        if holder is not None:
+            counters.remote_hits += 1
+            holder_chip = self.directory.chip_of_holder(
+                holder, self.spec.cores_per_chip)
+            if sequential:
+                # A remote fetch continuing a sequential stream is
+                # prefetch-pipelined like a streamed DRAM read.
+                hops = self.spec.chip_distance(chip, holder_chip)
+                latency = lat.remote_stream + lat.remote_hop * hops // 3
+            else:
+                latency = self.interconnect.remote_cache_latency(
+                    chip, holder_chip)
+            # Read-sharing: the remote copy stays put; we replicate.
+            self._insert_local(core_id, line, already_held=False)
+            return latency, SRC_REMOTE
+        counters.dram_loads += 1
+        latency = self.dram.load(line, chip, now, sequential)
+        self._insert_local(core_id, line, already_held=False)
+        return latency, SRC_DRAM
+
+    def _nearest_holder(self, line: int, from_chip: int) -> Optional[int]:
+        """Closest holder of ``line`` by chip distance, or None."""
+        holders = self.directory._holders.get(line)
+        if not holders:
+            return None
+        chip_of_holder = self.directory.chip_of_holder
+        cores_per_chip = self.spec.cores_per_chip
+        distance = self.spec.chip_distance
+        best = None
+        best_d = 1 << 30
+        for holder in holders:
+            d = distance(from_chip, chip_of_holder(holder, cores_per_chip))
+            if d < best_d:
+                best, best_d = holder, d
+                if d == 0:
+                    break
+        return best
+
+    def _insert_local(self, core_id: int, line: int,
+                      already_held: bool) -> None:
+        """Insert ``line`` at the core's L1, cascading victims downward."""
+        directory = self.directory
+        if not already_held:
+            directory.add(line, core_id)
+        victim = self.l1s[core_id].insert(line)
+        if victim is None:
+            return
+        victim2 = self.l2s[core_id].insert(victim)
+        if victim2 is None:
+            return
+        # Leaving the private hierarchy for the chip's shared L3.
+        directory.discard(victim2, core_id)
+        chip = self._chip_of[core_id]
+        l3_holder = directory.l3_holder(chip)
+        directory.add(victim2, l3_holder)
+        victim3 = self.l3s[chip].insert(victim2)
+        if victim3 is not None:
+            # Clean drop: DRAM always has the data.
+            directory.discard(victim3, l3_holder)
+
+    def _drop_from_holder(self, line: int, holder: int) -> None:
+        """Remove ``line`` from ``holder``'s caches and the directory."""
+        if self.directory.is_l3_holder(holder):
+            self.l3s[holder - self.directory.n_cores].remove(line)
+        else:
+            self.l1s[holder].remove(line)
+            self.l2s[holder].remove(line)
+        self.directory.discard(line, holder)
+
+    # ------------------------------------------------------------------
+    # maintenance / inspection
+    # ------------------------------------------------------------------
+
+    def flush_line(self, line: int) -> None:
+        """Remove a line from every cache (test/maintenance helper)."""
+        for holder in list(self.directory.holders(line)):
+            self._drop_from_holder(line, holder)
+
+    def flush_all(self) -> None:
+        for cache in self.l1s + self.l2s + self.l3s:
+            cache.clear()
+        self.directory = SharingDirectory(self.spec.n_cores)
+
+    def holder_caches(self, holder: int) -> List[LRUCache]:
+        """The concrete cache objects behind a directory holder id."""
+        if self.directory.is_l3_holder(holder):
+            return [self.l3s[holder - self.directory.n_cores]]
+        return [self.l1s[holder], self.l2s[holder]]
+
+    def where_is(self, addr: int) -> List[str]:
+        """Human-readable locations of the line containing ``addr``."""
+        line = addr // self.line_size
+        names = []
+        for core_id in range(self.spec.n_cores):
+            if line in self.l1s[core_id]:
+                names.append(f"L1.{core_id}")
+            if line in self.l2s[core_id]:
+                names.append(f"L2.{core_id}")
+        for chip in range(self.spec.n_chips):
+            if line in self.l3s[chip]:
+                names.append(f"L3.{chip}")
+        return names
+
+    def check_invariants(self) -> None:
+        """Verify directory/cache consistency (test helper; O(total lines)).
+
+        Raises :class:`~repro.errors.ConfigError` on violation.
+        """
+        seen = {}
+        for core_id in range(self.spec.n_cores):
+            for cache in (self.l1s[core_id], self.l2s[core_id]):
+                for line in cache.lines():
+                    holders = seen.setdefault(line, set())
+                    holders.add(core_id)
+        for chip in range(self.spec.n_chips):
+            holder = self.directory.l3_holder(chip)
+            for line in self.l3s[chip].lines():
+                seen.setdefault(line, set()).add(holder)
+        for core_id in range(self.spec.n_cores):
+            l1, l2 = self.l1s[core_id], self.l2s[core_id]
+            both = set(l1.lines()) & set(l2.lines())
+            if both:
+                raise ConfigError(
+                    f"core {core_id}: lines in both L1 and L2: {both}")
+        for line, holders in seen.items():
+            recorded = set(self.directory.holders(line))
+            if holders != recorded:
+                raise ConfigError(
+                    f"line {line}: caches say {holders}, "
+                    f"directory says {recorded}")
+        for line in self.directory.cached_lines():
+            if line not in seen:
+                raise ConfigError(f"line {line}: directory entry with no copy")

@@ -1,0 +1,17 @@
+"""Baseline schedulers (the paper's comparison points)."""
+
+from repro.sched.base import SchedulerRuntime
+from repro.sched.cache_sharing import CacheSharingScheduler
+from repro.sched.thread_clustering import (ThreadClusteringScheduler,
+                                           cosine_similarity)
+from repro.sched.thread_sched import ThreadScheduler
+from repro.sched.work_stealing import WorkStealingScheduler
+
+__all__ = [
+    "CacheSharingScheduler",
+    "SchedulerRuntime",
+    "ThreadClusteringScheduler",
+    "ThreadScheduler",
+    "WorkStealingScheduler",
+    "cosine_similarity",
+]

@@ -1,0 +1,84 @@
+"""Constructive cache sharing (Chen et al. [6]).
+
+The second thread-centric baseline from the paper's related work: where
+Tam et al. co-locate similar threads on a *chip* (sharing an L3), Chen et
+al. schedule threads that share a working set onto the same *core*, so
+they constructively share its private cache.  For the paper's workload it
+has the same fate as thread clustering: everything is shared, so the
+similarity structure is flat and the policy degenerates — while paying
+timeslicing costs for stacking threads on fewer cores.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.sched.thread_clustering import (ThreadClusteringScheduler,
+                                           cosine_similarity)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.core import Core
+    from repro.threads.thread import SimThread
+
+
+class CacheSharingScheduler(ThreadClusteringScheduler):
+    """Co-schedule threads with overlapping working sets per core."""
+
+    name = "cache-sharing"
+
+    def __init__(self, recluster_every_ops: int = 512,
+                 history_limit: int = 4096,
+                 join_threshold: float = 0.6) -> None:
+        super().__init__(recluster_every_ops, history_limit)
+        self.join_threshold = join_threshold
+        #: thread tid -> assigned core (None until first clustering).
+        self._core_of_thread: Dict[int, Optional[int]] = {}
+
+    def on_ct_start(self, thread: "SimThread", obj: object, core: "Core",
+                    now: int) -> Optional[int]:
+        histogram = self._histograms.setdefault(thread.tid, {})
+        key = id(obj)
+        histogram[key] = histogram.get(key, 0) + 1
+        self._ops_since_cluster += 1
+        if self._ops_since_cluster >= self.recluster_every_ops:
+            self._recluster()
+        target = self._core_of_thread.get(thread.tid)
+        if target is None or target == core.core_id:
+            return None
+        return target
+
+    def _recluster(self) -> None:
+        """Greedy pairing of similar threads onto shared cores."""
+        self._ops_since_cluster = 0
+        self.reclusterings += 1
+        tids = sorted(self._histograms)
+        if not tids:
+            return
+        n_cores = self.machine.n_cores
+        # Co-schedule width: how many threads may share one core's
+        # cache.  At least two (otherwise no constructive sharing can
+        # ever happen), more when threads outnumber cores.
+        per_core_capacity = max(2, -(-len(tids) // n_cores))
+        groups: List[List[int]] = []
+        for tid in tids:
+            histogram = self._histograms[tid]
+            best_index, best_sim = -1, self.join_threshold
+            for index, group in enumerate(groups):
+                if len(group) >= per_core_capacity:
+                    continue
+                leader = self._histograms[group[0]]
+                sim = cosine_similarity(histogram, leader)
+                if sim > best_sim:
+                    best_index, best_sim = index, sim
+            if best_index < 0:
+                groups.append([tid])
+            else:
+                groups[best_index].append(tid)
+        self.cluster_sizes = [len(g) for g in groups]
+        core_fill = [0] * n_cores
+        for group in groups:
+            for tid in group:
+                core = next((c for c in range(n_cores)
+                             if core_fill[c] < per_core_capacity), 0)
+                core_fill[core] += 1
+                self._core_of_thread[tid] = core

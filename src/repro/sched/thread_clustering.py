@@ -1,0 +1,138 @@
+"""Thread-clustering scheduler (Tam et al. [12], Chen et al. [6]).
+
+The strongest *thread-centric* baseline the paper discusses: group threads
+whose working sets overlap and co-locate each group on one chip so they
+share that chip's cache.  §2 of the paper predicts this cannot help the
+directory-lookup workload because *every* thread shares *every* directory —
+the similarity matrix is uniform, clustering degenerates to arbitrary
+placement, and the data is still replicated per chip.  Benchmark E6
+verifies that prediction.
+
+The implementation observes object accesses at ``ct_start`` (standing in
+for the hardware-counter sampling Tam et al. use), periodically clusters
+threads by cosine similarity of their object-access histograms, assigns
+clusters to chips, and migrates threads to their cluster's chip at the next
+operation boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.sched.thread_sched import ThreadScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.core import Core
+    from repro.threads.thread import SimThread
+
+
+def cosine_similarity(a: Dict[int, int], b: Dict[int, int]) -> float:
+    """Cosine similarity of two sparse access histograms."""
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(count * b.get(key, 0) for key, count in a.items())
+    if dot == 0:
+        return 0.0
+    norm_a = math.sqrt(sum(v * v for v in a.values()))
+    norm_b = math.sqrt(sum(v * v for v in b.values()))
+    return dot / (norm_a * norm_b)
+
+
+class ThreadClusteringScheduler(ThreadScheduler):
+    """Sharing-aware thread placement: similar threads share a chip."""
+
+    name = "thread-clustering"
+
+    def __init__(self, recluster_every_ops: int = 512,
+                 history_limit: int = 4096) -> None:
+        super().__init__()
+        self.recluster_every_ops = recluster_every_ops
+        self.history_limit = history_limit
+        #: thread tid -> {object id: access count}
+        self._histograms: Dict[int, Dict[int, int]] = {}
+        #: thread tid -> assigned chip (None until first clustering)
+        self._chip_of_thread: Dict[int, Optional[int]] = {}
+        self._ops_since_cluster = 0
+        self.reclusterings = 0
+        self.cluster_sizes: List[int] = []
+
+    # ------------------------------------------------------------------
+
+    def on_ct_start(self, thread: "SimThread", obj: object, core: "Core",
+                    now: int) -> Optional[int]:
+        histogram = self._histograms.setdefault(thread.tid, {})
+        key = id(obj)
+        histogram[key] = histogram.get(key, 0) + 1
+        if len(histogram) > self.history_limit:
+            # Decay: halve everything, drop the zeroes.
+            for k in list(histogram):
+                histogram[k] //= 2
+                if not histogram[k]:
+                    del histogram[k]
+        self._ops_since_cluster += 1
+        if self._ops_since_cluster >= self.recluster_every_ops:
+            self._recluster()
+        target_chip = self._chip_of_thread.get(thread.tid)
+        if target_chip is None or core.chip_id == target_chip:
+            return None
+        return self._least_loaded_core(target_chip)
+
+    def _least_loaded_core(self, chip_id: int) -> int:
+        cores = self.machine.cores_of_chip(chip_id)
+        best = min(cores, key=lambda c: c.load)
+        return best.core_id
+
+    def _recluster(self) -> None:
+        """Greedy agglomerative clustering into at most n_chips groups."""
+        self._ops_since_cluster = 0
+        self.reclusterings += 1
+        tids = sorted(self._histograms)
+        if not tids:
+            return
+        n_chips = self.machine.spec.n_chips
+        clusters: List[List[int]] = []
+        centroids: List[Dict[int, int]] = []
+        for tid in tids:
+            histogram = self._histograms[tid]
+            best_index, best_sim = -1, 0.5  # join threshold
+            for index, centroid in enumerate(centroids):
+                sim = cosine_similarity(histogram, centroid)
+                if sim > best_sim:
+                    best_index, best_sim = index, sim
+            if best_index < 0 and len(clusters) < n_chips:
+                clusters.append([tid])
+                centroids.append(dict(histogram))
+                continue
+            if best_index < 0:
+                # No room for a new cluster: join the most similar.
+                best_index = max(
+                    range(len(centroids)),
+                    key=lambda i: cosine_similarity(
+                        self._histograms[tid], centroids[i]))
+            clusters[best_index].append(tid)
+            centroid = centroids[best_index]
+            for key, count in histogram.items():
+                centroid[key] = centroid.get(key, 0) + count
+        self.cluster_sizes = [len(c) for c in clusters]
+        # Spread clusters over chips without overloading any chip: a
+        # cluster larger than an even share (e.g. "every thread shares
+        # everything", this paper's workload) is split across chips, so
+        # clustering degenerates to balanced placement instead of
+        # stuffing the whole workload onto one chip.
+        per_chip_capacity = max(1, -(-len(tids) // n_chips))
+        chip_fill = [0] * n_chips
+        for cluster in clusters:
+            for tid in cluster:
+                chip = next((c for c in range(n_chips)
+                             if chip_fill[c] < per_chip_capacity), 0)
+                chip_fill[chip] += 1
+                self._chip_of_thread[tid] = chip
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["reclusterings"] = self.reclusterings
+        stats["cluster_sizes"] = list(self.cluster_sizes)
+        return stats

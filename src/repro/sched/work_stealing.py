@@ -1,0 +1,56 @@
+"""Work-stealing thread scheduler.
+
+A slightly stronger execution-unit-focused baseline: placement is
+round-robin, and an idle core steals the oldest waiting thread from the
+most loaded run queue.  Like the plain thread scheduler it optimises core
+utilisation, not on-chip memory — stolen threads drag their working sets
+across caches, which is exactly the implicit-scheduling behaviour the
+paper argues against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sched.thread_sched import ThreadScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.core import Core
+    from repro.threads.thread import SimThread
+
+
+class WorkStealingScheduler(ThreadScheduler):
+    """Round-robin placement plus idle-time stealing."""
+
+    name = "work-stealing"
+
+    #: Idle cores re-check for stealable work this often (cycles); the
+    #: engine polls parked cores only for schedulers that set this.
+    idle_poll_interval = 500
+
+    def __init__(self, min_victim_queue: int = 1) -> None:
+        super().__init__()
+        #: Only steal from queues at least this deep (avoid thrashing).
+        self.min_victim_queue = min_victim_queue
+        self.steals = 0
+
+    def on_idle(self, core: "Core", now: int) -> Optional["SimThread"]:
+        victim = None
+        depth = self.min_victim_queue - 1
+        for other in self.machine.cores:
+            if other.core_id == core.core_id:
+                continue
+            if len(other.runqueue) > depth:
+                victim = other
+                depth = len(other.runqueue)
+        if victim is None:
+            return None
+        thread = victim.runqueue.steal()
+        if thread is not None:
+            self.steals += 1
+        return thread
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["steals"] = self.steals
+        return stats

@@ -1,0 +1,17 @@
+"""Discrete-event simulation engine."""
+
+from repro.sim.engine import RunResult, Simulator
+from repro.sim.rng import make_rng, stream_seed
+from repro.sim.trace import (PrintTracer, RecordingTracer, TraceEvent,
+                             Tracer)
+
+__all__ = [
+    "PrintTracer",
+    "RecordingTracer",
+    "RunResult",
+    "Simulator",
+    "TraceEvent",
+    "Tracer",
+    "make_rng",
+    "stream_seed",
+]

@@ -1,0 +1,395 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` drives a :class:`~repro.cpu.machine.Machine` under a
+:class:`~repro.sched.base.SchedulerRuntime`.  Cores carry local clocks; a
+heap of pending events (core steps and migration arrivals) executes them in
+global time order, so cross-core interactions — lock hand-offs, coherence
+invalidations, migrations — are causally ordered.
+
+One *step* executes one instruction item of a core's current thread and
+advances that core's clock by the item's simulated cost.  Threads are
+cooperative: they run until they migrate, finish, or explicitly yield,
+exactly like CoreTime's per-core user-level threading (§4).
+
+Known approximation (documented in DESIGN.md): a ``Scan`` is charged in a
+single step, so another core observes its cache-state effects at the scan's
+start time rather than spread across it.  Scans are lock-protected in the
+workloads we model, so this does not change the contention structure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.cpu.core import Core
+from repro.cpu.machine import Machine
+from repro.errors import DeadlockError, SimulationError
+from repro.mem.counters import aggregate
+from repro.sched.base import SchedulerRuntime
+from repro.sim.trace import TraceEvent, Tracer
+from repro.threads.program import (Acquire, Compute, CtEnd, CtStart, Load,
+                                   OpDone, Release, Scan, Store, YieldCore)
+from repro.threads.thread import Program, SimThread, ThreadState
+
+_KIND_STEP = 0
+_KIND_ARRIVAL = 1
+
+
+@dataclass
+class RunResult:
+    """Summary of one :meth:`Simulator.run` call."""
+
+    scheduler: str
+    horizon_cycles: int
+    ops: int
+    throughput_ops_per_sec: float
+    migrations: int
+    steps: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    dram_lines: int = 0
+    dram_queued_cycles: int = 0
+    cross_chip_messages: int = 0
+
+    @property
+    def kops_per_sec(self) -> float:
+        """Thousands of operations per second (Figure 4's y-axis unit)."""
+        return self.throughput_ops_per_sec / 1e3
+
+    def __str__(self) -> str:
+        return (f"RunResult({self.scheduler}: {self.ops} ops in "
+                f"{self.horizon_cycles} cycles = "
+                f"{self.kops_per_sec:,.0f} kops/s, "
+                f"{self.migrations} migrations)")
+
+
+class Simulator:
+    """Event-driven executor for one machine + scheduler + thread set."""
+
+    def __init__(self, machine: Machine, scheduler: SchedulerRuntime,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.machine = machine
+        self.memory = machine.memory
+        self.scheduler = scheduler
+        scheduler.bind(machine)
+        self.tracer = tracer
+        self.threads: List[SimThread] = []
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self.total_ops = 0
+        self.total_migrations = 0
+        self.total_steps = 0
+        self._spec = machine.spec
+        # Heterogeneous-core support (§6.1): per-core compute divisors,
+        # or None for the homogeneous fast path.
+        if machine.spec.core_speeds is None:
+            self._speeds = None
+        else:
+            self._speeds = [machine.spec.speed_of(c)
+                            for c in range(machine.n_cores)]
+        self._ops_at_run_start = 0
+
+    # ------------------------------------------------------------------
+    # thread management
+    # ------------------------------------------------------------------
+
+    def spawn(self, program: Union[Program, SimThread],
+              name: Optional[str] = None,
+              core_id: Optional[int] = None) -> SimThread:
+        """Create a thread and place it on a core.
+
+        ``core_id`` pins the thread explicitly; otherwise the scheduler's
+        placement policy decides (round-robin for the thread scheduler).
+        """
+        thread = (program if isinstance(program, SimThread)
+                  else SimThread(program, name))
+        if core_id is None:
+            core_id = self.scheduler.place_thread(thread)
+        if not 0 <= core_id < self.machine.n_cores:
+            raise SimulationError(
+                f"scheduler placed {thread.name} on invalid core {core_id}")
+        thread.home_core = core_id
+        thread.created_at = self.machine.cores[core_id].time
+        self.threads.append(thread)
+        self._enqueue_thread(thread, core_id,
+                             self.machine.cores[core_id].time)
+        self._trace(thread.created_at, "spawn", thread, core_id)
+        return thread
+
+    def spawn_per_core(self, make_program, name_prefix: str = "thread"):
+        """One thread per core, as in the paper's workloads.
+
+        ``make_program(core_id)`` must return a fresh generator.
+        """
+        return [
+            self.spawn(make_program(core_id), f"{name_prefix}-{core_id}",
+                       core_id=core_id)
+            for core_id in range(self.machine.n_cores)
+        ]
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None,
+            max_ops: Optional[int] = None,
+            max_steps: Optional[int] = None) -> RunResult:
+        """Execute events until a limit is hit.
+
+        ``until``     — stop before any event later than this cycle count
+                        (the event is left queued, so ``run`` can resume);
+        ``max_ops``   — stop once this many operations completed in this
+                        call;
+        ``max_steps`` — hard step bound (guards runaway programs in tests).
+        """
+        if until is None and max_ops is None and max_steps is None:
+            raise SimulationError("run() needs a stopping condition")
+        heap = self._heap
+        ops_target = (self.total_ops + max_ops) if max_ops else None
+        steps_left = max_steps if max_steps is not None else -1
+        self._ops_at_run_start = self.total_ops
+        while heap:
+            if ops_target is not None and self.total_ops >= ops_target:
+                break
+            if steps_left == 0:
+                break
+            entry = heapq.heappop(heap)
+            time = entry[0]
+            if until is not None and time > until:
+                heapq.heappush(heap, entry)
+                break
+            kind = entry[2]
+            if kind == _KIND_STEP:
+                core: Core = entry[3]
+                core.in_heap = False
+                self._step(core, time)
+                if core.current is not None or core.runqueue:
+                    self._push_step(core)
+                else:
+                    core.note_idle()
+                    self._maybe_poll_idle(core, time)
+            else:  # arrival
+                thread, core_id = entry[3]
+                core = self.machine.cores[core_id]
+                core.counters.migrations_in += 1
+                thread.state = ThreadState.READY
+                self._enqueue_thread(thread, core_id, time)
+                self._trace(time, "arrive", thread, core_id)
+            steps_left -= 1
+        else:
+            if any(not t.done for t in self.threads):
+                raise DeadlockError(
+                    "event heap drained with live threads: "
+                    + ", ".join(t.name for t in self.threads if not t.done))
+        horizon = until if until is not None else self.machine.now
+        self.machine.settle_idle(horizon)
+        return self._result(horizon)
+
+    def _result(self, horizon: int) -> RunResult:
+        memory = self.memory
+        return RunResult(
+            scheduler=self.scheduler.name,
+            horizon_cycles=horizon,
+            ops=self.total_ops,
+            throughput_ops_per_sec=(
+                self.total_ops / self._spec.seconds(horizon)
+                if horizon > 0 else 0.0),
+            migrations=self.total_migrations,
+            steps=self.total_steps,
+            counters=aggregate(memory.counters),
+            dram_lines=memory.dram.total_lines_served,
+            dram_queued_cycles=memory.dram.total_queued_cycles,
+            cross_chip_messages=memory.interconnect.cross_chip_messages(),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _push(self, time: int, kind: int, payload: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+
+    def _push_step(self, core: Core) -> None:
+        if not core.in_heap:
+            core.in_heap = True
+            self._push(core.time, _KIND_STEP, core)
+
+    def _enqueue_thread(self, thread: SimThread, core_id: int,
+                        at: int) -> None:
+        core = self.machine.cores[core_id]
+        core.runqueue.push(thread)
+        if core.current is None and not core.in_heap:
+            core.note_woken(max(at, core.time))
+            self._push_step(core)
+        elif len(core.runqueue) > 1:
+            # Queued-up work: give parked cores a chance to scavenge it
+            # (no-op unless the scheduler polls while idle).
+            interval = getattr(self.scheduler, "idle_poll_interval", 0)
+            if interval:
+                for other in self.machine.cores:
+                    if other.current is None and not other.in_heap \
+                            and not other.runqueue:
+                        other.in_heap = True
+                        self._push(max(other.time, at) + interval,
+                                   _KIND_STEP, other)
+
+    def _maybe_poll_idle(self, core: Core, now: int) -> None:
+        """Schedule an idle-poll step for schedulers that scavenge work.
+
+        A parked core receives no events, so a scheduler whose
+        ``idle_poll_interval`` is positive (work stealing) gets the core
+        re-woken periodically while other cores have queued threads.
+        """
+        interval = getattr(self.scheduler, "idle_poll_interval", 0)
+        if not interval or core.in_heap:
+            return
+        if any(c.runqueue for c in self.machine.cores if c is not core):
+            core.in_heap = True
+            self._push(max(core.time, now) + interval, _KIND_STEP, core)
+
+    def _step(self, core: Core, now: int) -> None:
+        thread = core.current
+        if thread is None:
+            thread = core.runqueue.pop()
+            if thread is None:
+                thread = self.scheduler.on_idle(core, core.time)
+                if thread is not None:
+                    # Stolen work starts when the poll fired, not at the
+                    # stale clock of a long-idle core.
+                    core.note_woken(max(now, core.time))
+            if thread is None:
+                return
+            thread.state = ThreadState.RUNNING
+            thread.core = core.core_id
+            core.current = thread
+        item = thread.pending
+        if item is None:
+            try:
+                item = thread.advance()
+            except StopIteration:
+                self._finish_thread(thread, core)
+                return
+            thread.pending = item
+        self.total_steps += 1
+        core.steps += 1
+        self._execute(core, thread, item)
+
+    def _finish_thread(self, thread: SimThread, core: Core) -> None:
+        thread.state = ThreadState.DONE
+        thread.finished_at = core.time
+        core.current = None
+        self.scheduler.on_thread_done(thread, core, core.time)
+        self._trace(core.time, "done", thread, core.core_id)
+
+    def _execute(self, core: Core, thread: SimThread, item: Any) -> None:
+        itype = type(item)
+        counters = core.counters
+        memory = self.memory
+        if itype is Scan:
+            latency = memory.scan(core.core_id, item.addr, item.nbytes,
+                                  core.time, item.per_line_compute)
+            counters.busy_cycles += latency
+            core.time += latency
+            thread.pending = None
+        elif itype is Compute:
+            cycles = item.cycles
+            if self._speeds is not None and cycles:
+                # A faster core retires the same work in fewer cycles.
+                cycles = max(1, round(cycles / self._speeds[core.core_id]))
+            counters.busy_cycles += cycles
+            core.time += cycles
+            thread.pending = None
+        elif itype is CtStart:
+            self._ct_start(core, thread, item.obj)
+        elif itype is CtEnd:
+            self._ct_end(core, thread)
+        elif itype is Load:
+            latency = memory.load(core.core_id, item.addr, core.time)
+            counters.busy_cycles += latency
+            core.time += latency
+            thread.pending = None
+        elif itype is Store:
+            latency = memory.store(core.core_id, item.addr, core.time)
+            counters.busy_cycles += latency
+            core.time += latency
+            thread.pending = None
+        elif itype is Acquire:
+            lock = item.lock
+            if lock.try_acquire(thread):
+                latency = memory.store(core.core_id, lock.addr, core.time)
+                counters.lock_acquires += 1
+                thread.pending = None
+            else:
+                latency = (memory.load(core.core_id, lock.addr, core.time)
+                           + self._spec.spin_backoff)
+                counters.lock_spins += 1
+                thread.spin_cycles += latency
+                # pending stays set: the acquire retries next step.
+            counters.busy_cycles += latency
+            core.time += latency
+        elif itype is Release:
+            item.lock.release(thread)
+            latency = memory.store(core.core_id, item.lock.addr, core.time)
+            counters.busy_cycles += latency
+            core.time += latency
+            thread.pending = None
+        elif itype is YieldCore:
+            thread.pending = None
+            core.current = None
+            core.runqueue.push(thread)
+        elif itype is OpDone:
+            counters.ops_completed += 1
+            thread.ops_completed += 1
+            self.total_ops += 1
+            thread.pending = None
+        else:
+            raise SimulationError(
+                f"thread {thread.name} yielded unknown item {item!r}")
+
+    def _ct_start(self, core: Core, thread: SimThread, obj: Any) -> None:
+        snapshot = core.counters.snapshot()
+        target = self.scheduler.on_ct_start(thread, obj, core, core.time)
+        thread.begin_operation(obj, snapshot, core.time)
+        thread.pending = None
+        if target is not None and target != core.core_id:
+            self._migrate(core, thread, target)
+
+    def _ct_end(self, core: Core, thread: SimThread) -> None:
+        # The runtime sees the thread while ct_object / entry snapshot are
+        # still set, so it can attribute misses to the object (§4).
+        target = self.scheduler.on_ct_end(thread, core, core.time)
+        thread.end_operation()
+        core.counters.ops_completed += 1
+        self.total_ops += 1
+        thread.pending = None
+        if target is not None and target != core.core_id:
+            self._migrate(core, thread, target)
+
+    def _migrate(self, core: Core, thread: SimThread, target: int) -> None:
+        if not 0 <= target < self.machine.n_cores:
+            raise SimulationError(
+                f"scheduler migrated {thread.name} to invalid core {target}")
+        spec = self._spec
+        thread.state = ThreadState.MIGRATING
+        thread.core = None
+        thread.migrations += 1
+        core.counters.migrations_out += 1
+        core.current = None
+        arrive = core.time + spec.migration_cost
+        if spec.poll_interval:
+            grid = spec.poll_interval
+            arrive = ((arrive + grid - 1) // grid) * grid
+        thread.wait_cycles += arrive - core.time
+        self.total_migrations += 1
+        self.memory.interconnect.count_migration(
+            core.chip_id, self._spec.chip_of(target))
+        self._push(arrive, _KIND_ARRIVAL, (thread, target))
+        self._trace(core.time, "migrate", thread, core.core_id, target)
+
+    def _trace(self, time: int, kind: str, thread: SimThread, core: int,
+               detail: Any = None) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(time, kind, thread.name, core,
+                                        detail))

@@ -1,0 +1,66 @@
+"""Optional event tracing.
+
+The engine reports interesting events (migrations, operations, thread
+lifecycle) to a :class:`Tracer` when one is attached.  The default engine
+runs without a tracer and pays nothing; tests and examples attach
+:class:`RecordingTracer` to assert on behaviour, and
+:class:`PrintTracer` gives a human-readable narration for debugging.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, List, TextIO
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced simulator event."""
+
+    time: int
+    kind: str
+    thread: str
+    core: int
+    detail: Any = None
+
+
+class Tracer:
+    """Base tracer: receives every event; default drops them."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - trivial
+        """Handle one event."""
+
+
+@dataclass
+class RecordingTracer(Tracer):
+    """Stores events in memory for inspection (tests, notebooks)."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Counter:
+        return Counter(e.kind for e in self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class PrintTracer(Tracer):
+    """Writes a one-line narration per event."""
+
+    def __init__(self, out: TextIO = None) -> None:
+        import sys
+
+        self.out = out or sys.stdout
+
+    def emit(self, event: TraceEvent) -> None:
+        detail = f" {event.detail}" if event.detail is not None else ""
+        self.out.write(
+            f"[{event.time:>12}] core{event.core:<3} {event.kind:<12} "
+            f"{event.thread}{detail}\n")

@@ -1,0 +1,61 @@
+"""Per-core FIFO run queues."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.threads.thread import SimThread, ThreadState
+
+
+class RunQueue:
+    """FIFO queue of READY threads belonging to one core."""
+
+    __slots__ = ("core_id", "_queue", "enqueues", "max_depth")
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self._queue: Deque[SimThread] = deque()
+        self.enqueues = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[SimThread]:
+        return iter(self._queue)
+
+    def push(self, thread: SimThread) -> None:
+        thread.state = ThreadState.READY
+        thread.core = self.core_id
+        self._queue.append(thread)
+        self.enqueues += 1
+        if len(self._queue) > self.max_depth:
+            self.max_depth = len(self._queue)
+
+    def push_front(self, thread: SimThread) -> None:
+        """Requeue at the head (used when a core is preempted mid-pick)."""
+        thread.state = ThreadState.READY
+        thread.core = self.core_id
+        self._queue.appendleft(thread)
+
+    def pop(self) -> Optional[SimThread]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def steal(self) -> Optional[SimThread]:
+        """Remove the *oldest* waiting thread for a work-stealing peer."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def remove(self, thread: SimThread) -> bool:
+        try:
+            self._queue.remove(thread)
+            return True
+        except ValueError:
+            return False

@@ -1,0 +1,26 @@
+"""Workload generators for the paper's benchmarks and ablations."""
+
+from repro.workloads.dirlookup import (DirectoryLookupWorkload,
+                                       DirWorkloadSpec)
+from repro.workloads.popularity import (OscillatingPopularity, Popularity,
+                                        UniformPopularity, ZipfPopularity,
+                                        make_popularity)
+from repro.workloads.synthetic import ObjectOpsSpec, ObjectOpsWorkload
+from repro.workloads.trace import OperationTrace, TraceReplayWorkload
+from repro.workloads.webserver import WebServerSpec, WebServerWorkload
+
+__all__ = [
+    "OperationTrace",
+    "TraceReplayWorkload",
+    "WebServerSpec",
+    "WebServerWorkload",
+    "DirWorkloadSpec",
+    "DirectoryLookupWorkload",
+    "ObjectOpsSpec",
+    "ObjectOpsWorkload",
+    "OscillatingPopularity",
+    "Popularity",
+    "UniformPopularity",
+    "ZipfPopularity",
+    "make_popularity",
+]

@@ -1,0 +1,174 @@
+"""Operation-trace recording and replay.
+
+Comparing schedulers on *randomised* workloads leaves a doubt: did the
+winner just draw luckier directories?  A :class:`OperationTrace` removes
+the doubt — record the exact operation sequence each thread performed
+once, then replay it verbatim under any scheduler, so both sides resolve
+the same names in the same order.
+
+Traces are plain data (lists of (directory index, file index) per
+thread), can be saved/loaded as text, and synthesised directly from a
+popularity distribution without running a simulation.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, TextIO, Tuple
+
+from repro.cpu.machine import Machine
+from repro.errors import ConfigError
+from repro.fs.efsl import EfslFat
+from repro.fs.image import FatFilesystem
+from repro.sim.rng import make_rng
+from repro.threads.program import Compute, OpDone
+from repro.workloads.popularity import Popularity, UniformPopularity
+
+#: One recorded operation: (directory index, file index).
+Op = Tuple[int, int]
+
+
+@dataclass
+class OperationTrace:
+    """A per-thread log of directory-lookup operations."""
+
+    n_dirs: int
+    files_per_dir: int
+    #: ``lanes[i]`` is the op sequence of thread i.
+    lanes: List[List[Op]] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if self.n_dirs < 1 or self.files_per_dir < 1:
+            raise ConfigError("trace needs at least one directory/file")
+        for index, lane in enumerate(self.lanes):
+            for d, f in lane:
+                if not (0 <= d < self.n_dirs
+                        and 0 <= f < self.files_per_dir):
+                    raise ConfigError(
+                        f"trace lane {index}: op ({d},{f}) out of range")
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(lane) for lane in self.lanes)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def synthesise(cls, n_threads: int, ops_per_thread: int, n_dirs: int,
+                   files_per_dir: int,
+                   popularity: Optional[Popularity] = None,
+                   seed: int = 0) -> "OperationTrace":
+        """Draw a trace from a popularity distribution, once."""
+        popularity = popularity or UniformPopularity(n_dirs)
+        lanes = []
+        for thread in range(n_threads):
+            rng = make_rng(seed, "trace", thread)
+            lanes.append([
+                (popularity.pick(rng, 0), rng.randrange(files_per_dir))
+                for _ in range(ops_per_thread)
+            ])
+        trace = cls(n_dirs, files_per_dir, lanes)
+        trace.validate()
+        return trace
+
+    # ------------------------------------------------------------------
+    # persistence (simple text format: header line, then one lane/line)
+    # ------------------------------------------------------------------
+
+    def dump(self, out: TextIO) -> None:
+        out.write(f"trace {self.n_dirs} {self.files_per_dir} "
+                  f"{len(self.lanes)}\n")
+        for lane in self.lanes:
+            out.write(" ".join(f"{d}:{f}" for d, f in lane) + "\n")
+
+    def dumps(self) -> str:
+        buffer = io.StringIO()
+        self.dump(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def load(cls, source: TextIO) -> "OperationTrace":
+        header = source.readline().split()
+        if len(header) != 4 or header[0] != "trace":
+            raise ConfigError("not a trace file")
+        n_dirs, files_per_dir, n_lanes = map(int, header[1:])
+        lanes = []
+        for _ in range(n_lanes):
+            line = source.readline().strip()
+            lane = []
+            if line:
+                for token in line.split():
+                    d, _, f = token.partition(":")
+                    lane.append((int(d), int(f)))
+            lanes.append(lane)
+        trace = cls(n_dirs, files_per_dir, lanes)
+        trace.validate()
+        return trace
+
+    @classmethod
+    def loads(cls, text: str) -> "OperationTrace":
+        return cls.load(io.StringIO(text))
+
+
+class TraceReplayWorkload:
+    """Replays an :class:`OperationTrace` against a machine.
+
+    Threads are assigned lanes round-robin across cores; each thread
+    performs exactly its lane's lookups and stops, so two replays under
+    different schedulers do byte-identical application work.
+    """
+
+    def __init__(self, machine: Machine, trace: OperationTrace,
+                 think_cycles: int = 12, annotated: bool = True,
+                 cluster_bytes: int = 512) -> None:
+        trace.validate()
+        self.machine = machine
+        self.trace = trace
+        self.think_cycles = think_cycles
+        self.annotated = annotated
+        fs = FatFilesystem.build_benchmark_image(
+            trace.n_dirs, trace.files_per_dir,
+            cluster_bytes=cluster_bytes)
+        self.efsl = EfslFat(machine, fs, region_name="trace-image")
+
+    def make_program(self, lane_index: int) -> Iterator:
+        lane = self.trace.lanes[lane_index]
+        efsl = self.efsl
+        dirs = efsl.directories
+        annotated = self.annotated
+        think = Compute(self.think_cycles) if self.think_cycles else None
+
+        def program() -> Iterator:
+            for dir_index, file_index in lane:
+                if think is not None:
+                    yield think
+                directory = dirs[dir_index]
+                if annotated:
+                    yield from efsl.search_items_by_index(directory,
+                                                          file_index)
+                else:
+                    yield from efsl.unannotated_search_items(directory,
+                                                             file_index)
+                    yield OpDone()
+
+        return program()
+
+    def spawn_all(self, simulator) -> list:
+        threads = []
+        n_cores = self.machine.n_cores
+        for lane_index in range(len(self.trace.lanes)):
+            threads.append(simulator.spawn(
+                self.make_program(lane_index), f"replay-{lane_index}",
+                core_id=lane_index % n_cores))
+        return threads
+
+    def completion_cycles(self, simulator) -> int:
+        """Machine time when the last replay thread finished."""
+        finished = [t.finished_at for t in simulator.threads
+                    if t.finished_at is not None]
+        if len(finished) != len(self.trace.lanes):
+            raise ConfigError("replay has unfinished lanes")
+        return max(finished)

@@ -1,0 +1,31 @@
+"""Shared fixtures: small machines that keep tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.cpu.topology import MachineSpec
+
+from tests.helpers import tiny_spec
+
+
+@pytest.fixture
+def spec() -> MachineSpec:
+    return tiny_spec()
+
+
+@pytest.fixture
+def machine(spec) -> Machine:
+    return Machine(spec)
+
+
+@pytest.fixture
+def one_core_machine() -> Machine:
+    return Machine(tiny_spec(n_chips=1, cores_per_chip=1))
+
+
+@pytest.fixture
+def quad_machine() -> Machine:
+    """One chip, four cores — the Figure 2 topology."""
+    return Machine(tiny_spec(n_chips=1, cores_per_chip=4))

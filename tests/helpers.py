@@ -1,0 +1,22 @@
+"""Shared test helpers (importable from any test module)."""
+
+from __future__ import annotations
+
+from repro.cpu.topology import MachineSpec
+
+
+def tiny_spec(**overrides) -> MachineSpec:
+    """A 2-chip, 2-cores-per-chip machine with small caches.
+
+    Small enough that capacity effects appear within a few hundred
+    accesses, with the paper's latency structure intact.
+    """
+    fields = dict(
+        name="tiny", n_chips=2, cores_per_chip=2,
+        l1_bytes=512, l2_bytes=2048, l3_bytes=8192,
+        migration_cost=200, spin_backoff=20,
+    )
+    fields.update(overrides)
+    spec = MachineSpec(**fields)
+    spec.validate()
+    return spec

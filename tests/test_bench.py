@@ -1,0 +1,115 @@
+"""Tests for repro.bench (harness, reports, plots) on tiny configs."""
+
+import pytest
+
+from repro.bench.ascii_plot import plot
+from repro.bench.harness import (SCHEDULERS, BenchPoint, Series,
+                                 coretime_factory, run_point, sweep)
+from repro.bench.report import figure_report, table
+from repro.cpu.topology import MachineSpec
+from repro.errors import ConfigError
+from repro.workloads.dirlookup import DirWorkloadSpec
+
+from tests.helpers import tiny_spec
+
+
+def quick_workload(n_dirs=4):
+    return DirWorkloadSpec(n_dirs=n_dirs, files_per_dir=32,
+                           cluster_bytes=512, threads_per_core=2,
+                           think_cycles=10)
+
+
+class TestRunPoint:
+    def test_measures_throughput(self):
+        point = run_point(tiny_spec(), SCHEDULERS["thread"],
+                          quick_workload(), warmup_cycles=50_000,
+                          measure_cycles=100_000)
+        assert point.scheduler == "thread"
+        assert point.kops_per_sec > 0
+        assert point.ops > 0
+
+    def test_window_excludes_warmup(self):
+        short = run_point(tiny_spec(), SCHEDULERS["thread"],
+                          quick_workload(), warmup_cycles=0,
+                          measure_cycles=50_000)
+        long = run_point(tiny_spec(), SCHEDULERS["thread"],
+                         quick_workload(), warmup_cycles=200_000,
+                         measure_cycles=50_000)
+        # Warm caches: the measured window is at least as fast.
+        assert long.kops_per_sec >= short.kops_per_sec * 0.9
+
+    def test_x_defaults_to_total_kb(self):
+        workload = quick_workload()
+        point = run_point(tiny_spec(), SCHEDULERS["thread"], workload,
+                          warmup_cycles=0, measure_cycles=20_000)
+        assert point.x == workload.total_data_bytes / 1024
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ConfigError):
+            run_point(tiny_spec(), SCHEDULERS["thread"], quick_workload(),
+                      warmup_cycles=-1, measure_cycles=10)
+        with pytest.raises(ConfigError):
+            run_point(tiny_spec(), SCHEDULERS["thread"], quick_workload(),
+                      warmup_cycles=0, measure_cycles=0)
+
+    def test_coretime_factory_overrides(self):
+        factory = coretime_factory(rebalance=False, lookup_cost=5)
+        scheduler = factory()
+        assert scheduler.config.rebalance is False
+        assert scheduler.config.lookup_cost == 5
+
+
+class TestSweep:
+    def test_one_series_per_scheduler(self):
+        series = sweep(tiny_spec(), ("thread", "coretime"),
+                       [quick_workload(2), quick_workload(4)],
+                       warmup_cycles=20_000, measure_cycles=50_000)
+        assert [s.label for s in series] == ["thread", "coretime"]
+        assert all(len(s.points) == 2 for s in series)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep(tiny_spec(), ("nope",), [quick_workload()],
+                  warmup_cycles=0, measure_cycles=10_000)
+
+    def test_series_accessors(self):
+        series = Series("s", [
+            BenchPoint("s", 1.0, 10.0, 5, 0, 0, 0),
+            BenchPoint("s", 2.0, 20.0, 9, 0, 0, 0),
+        ])
+        assert series.xs == [1.0, 2.0]
+        assert series.ys == [10.0, 20.0]
+        assert series.at(2.0).ops == 9
+        with pytest.raises(KeyError):
+            series.at(3.0)
+
+
+class TestReports:
+    def _series(self):
+        return [
+            Series("thread", [BenchPoint("thread", 64, 100.0, 1, 0, 0, 0),
+                              BenchPoint("thread", 128, 80.0, 1, 0, 0, 0)]),
+            Series("coretime", [BenchPoint("coretime", 64, 150.0, 1, 0, 0, 0),
+                                BenchPoint("coretime", 128, 200.0, 1, 0, 0, 0)]),
+        ]
+
+    def test_table_includes_ratio_column(self):
+        text = table(self._series(), x_header="KB")
+        assert "coretime/thread" in text
+        assert "2.50x" in text          # 200 / 80
+
+    def test_plot_renders_markers_and_legend(self):
+        text = plot([1, 2, 3], [[1, 2, 3], [3, 2, 1]], ["a", "b"],
+                    title="T", x_label="x", y_label="y")
+        assert "T" in text
+        assert "o a" in text and "+ b" in text
+
+    def test_plot_empty(self):
+        assert plot([], [], []) == "(no data)"
+
+    def test_figure_report_combines_parts(self):
+        text = figure_report("My figure", self._series(), "KB", "kops",
+                             notes="shape holds")
+        assert "My figure" in text
+        assert "shape holds" in text
+        assert "coretime" in text

@@ -1,0 +1,79 @@
+"""Tests for repro.mem.counters."""
+
+import pytest
+
+from repro.mem.counters import (COUNTER_FIELDS, CoreCounters, aggregate)
+
+
+class TestCoreCounters:
+    def test_starts_at_zero(self):
+        counters = CoreCounters(0)
+        for field in COUNTER_FIELDS:
+            assert getattr(counters, field) == 0
+
+    def test_loads_sums_all_sources(self):
+        counters = CoreCounters(0)
+        counters.l1_hits = 10
+        counters.l2_hits = 5
+        counters.l3_hits = 3
+        counters.remote_hits = 2
+        counters.dram_loads = 1
+        assert counters.loads == 21
+        assert counters.l1_misses == 11
+        assert counters.offcore_loads == 6
+
+    def test_reset(self):
+        counters = CoreCounters(0)
+        counters.l1_hits = 7
+        counters.reset()
+        assert counters.l1_hits == 0
+
+    def test_as_dict_covers_all_fields(self):
+        assert set(CoreCounters(0).as_dict()) == set(COUNTER_FIELDS)
+
+
+class TestSnapshots:
+    def test_snapshot_is_immutable_copy(self):
+        counters = CoreCounters(0)
+        counters.l1_hits = 1
+        snap = counters.snapshot()
+        counters.l1_hits = 100
+        assert snap.l1_hits == 1
+
+    def test_delta_arithmetic(self):
+        counters = CoreCounters(0)
+        counters.dram_loads = 5
+        before = counters.snapshot()
+        counters.dram_loads = 12
+        counters.remote_hits = 3
+        delta = counters.snapshot() - before
+        assert delta.dram_loads == 7
+        assert delta.remote_hits == 3
+        assert delta.l1_hits == 0
+
+    def test_delta_derived_fields(self):
+        counters = CoreCounters(0)
+        before = counters.snapshot()
+        counters.l1_hits = 4
+        counters.dram_loads = 2
+        delta = counters.snapshot() - before
+        assert delta.loads == 6
+        assert delta.l1_misses == 2
+        assert delta.offcore_loads == 2
+
+    def test_unknown_attribute_raises(self):
+        snap = CoreCounters(0).snapshot()
+        with pytest.raises(AttributeError):
+            snap.nonexistent_counter
+
+
+class TestAggregate:
+    def test_sums_across_cores(self):
+        banks = [CoreCounters(i) for i in range(3)]
+        for i, bank in enumerate(banks):
+            bank.ops_completed = i + 1
+        totals = aggregate(banks)
+        assert totals["ops_completed"] == 6
+
+    def test_empty(self):
+        assert aggregate([])["l1_hits"] == 0

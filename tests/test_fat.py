@@ -1,0 +1,162 @@
+"""Tests for repro.fs.fat and repro.fs.names (the FAT image itself)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FilesystemError
+from repro.fs.fat import (DIR_ENTRY_SIZE, EOC, FIRST_CLUSTER, FREE,
+                          FatImage, FatParams)
+from repro.fs.names import decode_name, dir_name, encode_name, file_name
+
+
+class TestNames:
+    def test_encode_simple(self):
+        assert encode_name("FOO.TXT") == b"FOO     TXT"
+
+    def test_encode_no_extension(self):
+        assert encode_name("FOO") == b"FOO        "
+
+    def test_lowercase_normalised(self):
+        assert encode_name("foo.txt") == encode_name("FOO.TXT")
+
+    def test_decode_roundtrip(self):
+        assert decode_name(encode_name("HELLO.DAT")) == "HELLO.DAT"
+        assert decode_name(encode_name("NOEXT")) == "NOEXT"
+
+    def test_too_long_rejected(self):
+        with pytest.raises(FilesystemError):
+            encode_name("TOOLONGNAME.TXT")
+        with pytest.raises(FilesystemError):
+            encode_name("A.LONG")
+
+    def test_bad_characters_rejected(self):
+        with pytest.raises(FilesystemError):
+            encode_name("A B.TXT")
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(FilesystemError):
+            decode_name(b"short")
+
+    def test_generated_names_are_valid_and_unique(self):
+        names = {file_name(i) for i in range(100)}
+        assert len(names) == 100
+        for name in names:
+            assert decode_name(encode_name(name)) == name
+        assert dir_name(3) != dir_name(4)
+
+    @given(st.integers(min_value=0, max_value=9_999_999))
+    def test_file_name_roundtrip(self, index):
+        name = file_name(index)
+        assert decode_name(encode_name(name)) == name
+
+
+class TestFatParams:
+    def test_layout_regions_ordered(self):
+        params = FatParams()
+        assert params.fat_offset < params.root_dir_offset
+        assert params.root_dir_offset < params.data_offset
+        assert params.data_offset < params.image_bytes
+
+    def test_sized_for_allocates_enough(self):
+        params = FatParams.sized_for(1_000_000)
+        assert params.n_clusters * params.cluster_bytes >= 1_000_000
+
+    def test_validate_rejects_too_many_clusters(self):
+        with pytest.raises(FilesystemError):
+            FatParams(n_clusters=70000).validate()
+
+    def test_sector_must_hold_whole_entries(self):
+        with pytest.raises(FilesystemError):
+            FatParams(bytes_per_sector=100).validate()
+
+
+class TestFatImage:
+    def test_boot_sector_signature(self):
+        image = FatImage(FatParams())
+        assert image.data[510:512] == b"\x55\xaa"
+        assert image.data[3:11] == b"REPROFAT"
+
+    def test_alloc_cluster_marks_eoc(self):
+        image = FatImage(FatParams())
+        cluster = image.alloc_cluster()
+        assert cluster == FIRST_CLUSTER
+        assert image.fat_read(cluster) == EOC
+
+    def test_alloc_chain_links(self):
+        image = FatImage(FatParams())
+        first = image.alloc_chain(3)
+        chain = image.chain(first)
+        assert len(chain) == 3
+        assert image.fat_read(chain[0]) == chain[1]
+        assert image.fat_read(chain[2]) == EOC
+
+    def test_chain_of_length_one(self):
+        image = FatImage(FatParams())
+        first = image.alloc_chain(1)
+        assert image.chain(first) == [first]
+
+    def test_chain_cycle_detected(self):
+        image = FatImage(FatParams())
+        first = image.alloc_chain(2)
+        second = image.fat_read(first)
+        image.fat_write(second, first)    # corrupt: cycle
+        with pytest.raises(FilesystemError):
+            image.chain(first)
+
+    def test_out_of_clusters(self):
+        image = FatImage(FatParams(n_clusters=4))
+        image.alloc_chain(4)
+        with pytest.raises(FilesystemError):
+            image.alloc_cluster()
+
+    def test_cluster_offsets_disjoint(self):
+        params = FatParams()
+        image = FatImage(params)
+        a = image.alloc_cluster()
+        b = image.alloc_cluster()
+        assert abs(image.cluster_offset(a) - image.cluster_offset(b)) \
+            >= params.cluster_bytes
+
+    def test_read_write_roundtrip(self):
+        image = FatImage(FatParams())
+        offset = image.cluster_offset(image.alloc_cluster())
+        image.write(offset, b"hello")
+        assert image.read(offset, 5) == b"hello"
+
+    def test_read_outside_image_rejected(self):
+        image = FatImage(FatParams())
+        with pytest.raises(FilesystemError):
+            image.read(len(image.data), 1)
+        with pytest.raises(FilesystemError):
+            image.write(-1, b"x")
+
+    def test_reserved_cluster_rejected(self):
+        image = FatImage(FatParams())
+        with pytest.raises(FilesystemError):
+            image.cluster_offset(0)
+        with pytest.raises(FilesystemError):
+            image.fat_read(1)
+
+    def test_sequential_chain_is_one_extent(self):
+        image = FatImage(FatParams())
+        first = image.alloc_chain(4)
+        extents = image.chain_extents(first)
+        assert len(extents) == 1
+        assert extents[0][1] == 4 * image.params.cluster_bytes
+
+    def test_fragmented_chain_has_multiple_extents(self):
+        image = FatImage(FatParams())
+        first = image.alloc_chain(2)
+        image.alloc_cluster()             # hole
+        tail = image.alloc_chain(1)
+        # Link the chain across the hole.
+        chain = image.chain(first)
+        image.fat_write(chain[-1], tail)
+        extents = image.chain_extents(first)
+        assert len(extents) == 2
+        total = sum(nbytes for _, nbytes in extents)
+        assert total == 3 * image.params.cluster_bytes
+
+    def test_entry_size_is_paper_32_bytes(self):
+        assert DIR_ENTRY_SIZE == 32

@@ -1,0 +1,74 @@
+"""Smoke tests for the experiment definitions (tiny profiles).
+
+The real shape assertions live in benchmarks/; these verify every
+experiment runs end to end, returns well-formed results, and that the
+CLI plumbing works.
+"""
+
+import pytest
+
+from repro.bench.figures import (EXPERIMENTS, PROFILES, FigureResult,
+                                 Profile, _profile, figure_2, figure_4a)
+from repro.errors import ConfigError
+
+TINY = Profile((8, 24), warmup_cycles=100_000, measure_cycles=150_000)
+
+
+class TestProfiles:
+    def test_lookup_by_name(self):
+        assert _profile("quick") is PROFILES["quick"]
+        assert _profile(TINY) is TINY
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError):
+            _profile("leisurely")
+
+    def test_full_covers_paper_range(self):
+        full = PROFILES["full"]
+        # 640 scaled dirs = the paper's 20 MB right edge.
+        assert max(full.n_dirs_list) == 640
+        assert min(full.n_dirs_list) <= 4
+
+
+class TestFigure4a:
+    def test_tiny_run_shape(self):
+        result = figure_4a(profile=TINY, scale=16)
+        assert isinstance(result, FigureResult)
+        assert [s.label for s in result.series] == ["thread", "coretime"]
+        assert all(len(s.points) == 2 for s in result.series)
+        assert "Figure 4(a)" in result.report
+        assert result.series_by_label("thread").points[0].kops_per_sec > 0
+
+    def test_unknown_series_label(self):
+        result = figure_4a(profile=TINY, scale=16)
+        with pytest.raises(KeyError):
+            result.series_by_label("nonexistent")
+
+
+class TestFigure2:
+    def test_tiny_run(self):
+        result = figure_2(n_dirs=8, run_cycles=400_000)
+        assert "thread scheduler" in result.details
+        assert "O2 scheduler (CoreTime)" in result.details
+        assert "directories resident on-chip" in result.report
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {"fig4a", "fig4b", "fig2", "packing", "migration",
+                    "clustering", "future", "replication", "replacement",
+                    "objclustering", "packingpolicy"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_cli_main_runs_one_experiment(self, tmp_path, monkeypatch,
+                                          capsys):
+        import repro.bench.report as report_module
+        from repro.bench.__main__ import main
+
+        monkeypatch.setattr(report_module, "RESULTS_DIR", str(tmp_path))
+        # packing is the fastest experiment; run it through the CLI.
+        exit_code = main(["packing", "--quiet"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "packing" in out
+        assert (tmp_path / "packing_complexity.txt").exists()

@@ -1,0 +1,97 @@
+"""Tests for repro.fs.check (the FAT fsck)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.check import fsck
+from repro.fs.fat import EOC, FIRST_CLUSTER
+from repro.fs.image import FatFilesystem
+
+
+def build(n_dirs=3, files=40):
+    return FatFilesystem.build_benchmark_image(n_dirs, files,
+                                               cluster_bytes=512)
+
+
+class TestCleanImages:
+    def test_fresh_benchmark_image_is_clean(self):
+        report = fsck(build())
+        assert report.clean, str(report)
+        assert report.directories_checked == 3
+        assert report.entries_checked == 3 * 40
+        assert report.clusters_used > 0
+
+    def test_empty_filesystem_is_clean(self):
+        assert fsck(FatFilesystem()).clean
+
+    def test_report_string(self):
+        text = str(fsck(build()))
+        assert "clean" in text
+
+
+class TestCorruptionDetection:
+    def test_broken_boot_signature(self):
+        fs = build()
+        fs.image.data[510] = 0
+        report = fsck(fs)
+        assert not report.clean
+        assert any("signature" in error for error in report.errors)
+
+    def test_cross_linked_chains(self):
+        fs = build()
+        dirs = fs.directory_list()
+        # Point the first directory's chain into the second's.
+        fs.image.fat_write(dirs[0].first_cluster, dirs[1].first_cluster)
+        report = fsck(fs)
+        assert not report.clean
+        assert any("cross-linked" in error or "capacity" in error
+                   for error in report.errors)
+
+    def test_chain_cycle(self):
+        fs = build()
+        directory = fs.directory_list()[0]
+        chain = fs.image.chain(directory.first_cluster)
+        fs.image.fat_write(chain[-1], chain[0])
+        report = fsck(fs)
+        assert any("cycle" in error for error in report.errors)
+
+    def test_out_of_range_link(self):
+        fs = build()
+        directory = fs.directory_list()[0]
+        chain = fs.image.chain(directory.first_cluster)
+        fs.image.fat_write(chain[-1], 0xAB00)
+        report = fsck(fs)
+        assert not report.clean
+
+    def test_truncated_chain(self):
+        fs = build(files=200)            # needs several clusters
+        directory = fs.directory_list()[0]
+        fs.image.fat_write(directory.first_cluster, EOC)
+        report = fsck(fs)
+        assert any("capacity" in error for error in report.errors)
+
+    def test_corrupted_entry_name(self):
+        fs = build()
+        directory = fs.directory_list()[0]
+        offset = directory.entry_offset(5)
+        fs.image.write(offset, b"\x00" * 32)     # free slot mid-entries
+        report = fsck(fs)
+        assert any("free slot" in error for error in report.errors)
+
+    def test_duplicate_entry(self):
+        fs = build()
+        directory = fs.directory_list()[0]
+        first = fs.image.read(directory.entry_offset(0), 32)
+        fs.image.write(directory.entry_offset(1), first)
+        report = fsck(fs)
+        assert any("duplicate" in error for error in report.errors)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n_dirs=st.integers(min_value=1, max_value=8),
+       files=st.integers(min_value=1, max_value=120))
+def test_every_benchmark_image_passes_fsck(n_dirs, files):
+    """The builder never produces an inconsistent image."""
+    report = fsck(FatFilesystem.build_benchmark_image(
+        n_dirs, files, cluster_bytes=512))
+    assert report.clean, str(report)

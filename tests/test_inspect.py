@@ -1,0 +1,77 @@
+"""Tests for repro.mem.inspect (Figure 2 residency analysis)."""
+
+from repro.mem.inspect import (OFF_CHIP, dominant_location,
+                               region_residency, residency_table)
+from repro.mem.system import MemorySystem
+
+from tests.helpers import tiny_spec
+
+
+LINE = 64
+
+
+def make():
+    return MemorySystem(tiny_spec())
+
+
+class TestRegionResidency:
+    def test_uncached_region_is_off_chip(self):
+        memory = make()
+        counts = region_residency(memory, 0, 4 * LINE)
+        assert counts == {OFF_CHIP: 4}
+
+    def test_cached_region_counts_core(self):
+        memory = make()
+        for i in range(4):
+            memory.load(0, i * LINE, 0)
+        counts = region_residency(memory, 0, 4 * LINE)
+        assert counts.get("core0") == 4
+        assert OFF_CHIP not in counts
+
+    def test_replication_counted_per_location(self):
+        memory = make()
+        memory.load(0, 0, 0)
+        memory.load(1, 0, 0)
+        counts = region_residency(memory, 0, LINE)
+        assert counts.get("core0") == 1
+        assert counts.get("core1") == 1
+
+
+class TestDominantLocation:
+    def test_off_chip_when_mostly_uncached(self):
+        memory = make()
+        memory.load(0, 0, 0)     # 1 of 8 lines cached
+        assert dominant_location(memory, 0, 8 * LINE) == OFF_CHIP
+
+    def test_core_dominates_when_resident(self):
+        memory = make()
+        for i in range(8):
+            memory.load(1, i * LINE, 0)
+        assert dominant_location(memory, 0, 8 * LINE) == "core1"
+
+    def test_l3_location_label(self):
+        memory = make()
+        # Push lines through core 0's private caches into chip L3.
+        for i in range(60):
+            memory.load(0, i * LINE, 0)
+        label = dominant_location(memory, 0, 8 * LINE)
+        assert label in ("L3.0", "core0")
+
+
+class TestResidencyTable:
+    def test_groups_regions(self):
+        memory = make()
+        for i in range(4):
+            memory.load(0, i * LINE, 0)
+        table = residency_table(memory, [
+            ("hot", 0, 4 * LINE),
+            ("cold", 1 << 20, 4 * LINE),
+        ])
+        assert "hot" in table.get("core0", [])
+        assert "cold" in table.get(OFF_CHIP, [])
+
+    def test_names_sorted(self):
+        memory = make()
+        table = residency_table(memory, [
+            ("b", 1 << 20, LINE), ("a", 2 << 20, LINE)])
+        assert table[OFF_CHIP] == ["a", "b"]

@@ -1,0 +1,50 @@
+"""Tests for repro.mem.interconnect."""
+
+from repro.cpu.topology import MachineSpec
+from repro.mem.interconnect import Interconnect
+
+
+def make():
+    return Interconnect(MachineSpec.amd16())
+
+
+class TestLatency:
+    def test_same_chip_remote_matches_paper(self):
+        interconnect = make()
+        assert interconnect.remote_cache_latency(0, 0) == 127
+
+    def test_hop_penalty(self):
+        interconnect = make()
+        one_hop = interconnect.remote_cache_latency(0, 1)
+        two_hops = interconnect.remote_cache_latency(0, 3)
+        assert 127 < one_hop < two_hops
+
+    def test_invalidate_cost_grows_with_distance(self):
+        interconnect = make()
+        assert interconnect.invalidate_latency(0, 3) > \
+            interconnect.invalidate_latency(0, 0)
+
+
+class TestTraffic:
+    def test_same_chip_transfer_not_counted_as_cross_chip(self):
+        interconnect = make()
+        interconnect.remote_cache_latency(0, 0)
+        assert interconnect.total_transfers == 0
+
+    def test_cross_chip_transfers_counted(self):
+        interconnect = make()
+        interconnect.remote_cache_latency(0, 1)
+        interconnect.remote_cache_latency(0, 1)
+        assert interconnect.total_transfers == 2
+
+    def test_invalidations_counted(self):
+        interconnect = make()
+        interconnect.invalidate_latency(0, 2)
+        assert interconnect.total_invalidations == 1
+        assert interconnect.cross_chip_messages() == 1
+
+    def test_reset(self):
+        interconnect = make()
+        interconnect.remote_cache_latency(0, 1)
+        interconnect.reset()
+        assert interconnect.cross_chip_messages() == 0

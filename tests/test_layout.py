@@ -1,0 +1,85 @@
+"""Tests for repro.mem.layout (address-space allocator)."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.mem.layout import AddressSpace
+
+
+class TestAlloc:
+    def test_line_aligned_by_default(self):
+        space = AddressSpace(line_size=64)
+        space.alloc("a", 10)
+        region = space.alloc("b", 10)
+        assert region.base % 64 == 0
+
+    def test_regions_do_not_overlap(self):
+        space = AddressSpace()
+        a = space.alloc("a", 1000)
+        b = space.alloc("b", 1000)
+        assert a.end <= b.base
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("a", 10)
+        with pytest.raises(AllocationError):
+            space.alloc("a", 10)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            AddressSpace().alloc("a", 0)
+
+    def test_out_of_space(self):
+        space = AddressSpace(size=256)
+        space.alloc("a", 200)
+        with pytest.raises(AllocationError):
+            space.alloc("b", 200)
+
+    def test_custom_alignment(self):
+        space = AddressSpace()
+        space.alloc("pad", 10)
+        region = space.alloc("page", 10, alignment=4096)
+        assert region.base % 4096 == 0
+
+    def test_bytes_used_tracks_allocations(self):
+        space = AddressSpace()
+        assert space.bytes_used == 0
+        space.alloc("a", 64)
+        assert space.bytes_used == 64
+
+
+class TestFind:
+    def test_find_inside_region(self):
+        space = AddressSpace()
+        a = space.alloc("a", 100)
+        b = space.alloc("b", 100)
+        assert space.find(a.base) is a
+        assert space.find(a.base + 99) is a
+        assert space.find(b.base) is b
+
+    def test_find_in_alignment_gap(self):
+        space = AddressSpace(line_size=64)
+        a = space.alloc("a", 10)
+        space.alloc("b", 10)
+        # Bytes between a's end and b's aligned base belong to nobody.
+        assert space.find(a.base + 10) is None
+
+    def test_find_before_everything(self):
+        space = AddressSpace(base=1000)
+        space.alloc("a", 10)
+        assert space.find(0) is None
+
+    def test_region_lookup_by_name(self):
+        space = AddressSpace()
+        region = space.alloc("data", 64)
+        assert space.region("data") is region
+        assert space.regions() == [region]
+
+
+class TestRegion:
+    def test_contains(self):
+        space = AddressSpace()
+        region = space.alloc("a", 100)
+        assert region.contains(region.base)
+        assert region.contains(region.end - 1)
+        assert not region.contains(region.end)

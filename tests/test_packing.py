@@ -1,0 +1,162 @@
+"""Tests for repro.core.packing (cache packing algorithms)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.object_table import CtObject
+from repro.core.packing import (CacheBudget, get_policy, make_budgets,
+                                pack, pack_balanced, pack_hash,
+                                pack_random)
+from repro.errors import PackingError
+
+
+def objects_of_sizes(sizes, heats=None):
+    objs = []
+    for index, size in enumerate(sizes):
+        o = CtObject(f"o{index}", index * 65536, size)
+        if heats:
+            o.heat = heats[index]
+        objs.append(o)
+    return objs
+
+
+class TestCacheBudget:
+    def test_charge_and_refund(self):
+        budget = CacheBudget(0, 1000)
+        budget.charge(400)
+        assert budget.free_bytes == 600
+        assert budget.fits(600) and not budget.fits(601)
+        budget.refund(400)
+        assert budget.free_bytes == 1000
+
+    def test_refund_never_goes_negative(self):
+        budget = CacheBudget(0, 100)
+        budget.refund(500)
+        assert budget.used_bytes == 0
+
+
+class TestMakeBudgets:
+    def test_one_per_core(self):
+        budgets = make_budgets(1000, 4)
+        assert [b.core_id for b in budgets] == [0, 1, 2, 3]
+        assert all(b.capacity_bytes == 1000 for b in budgets)
+
+    def test_headroom_scales_capacity(self):
+        budgets = make_budgets(1000, 2, headroom=0.5)
+        assert budgets[0].capacity_bytes == 500
+
+    def test_bad_headroom_rejected(self):
+        with pytest.raises(PackingError):
+            make_budgets(1000, 2, headroom=0.0)
+        with pytest.raises(PackingError):
+            make_budgets(1000, 2, headroom=1.5)
+
+
+class TestFirstFit:
+    def test_everything_fits_when_room(self):
+        objs = objects_of_sizes([100] * 6)
+        result = pack(objs, make_budgets(1000, 2))
+        assert len(result.placed) == 6
+        assert not result.unplaced
+
+    def test_first_fit_fills_early_budgets_first(self):
+        objs = objects_of_sizes([100] * 4)
+        budgets = make_budgets(1000, 2)
+        result = pack(objs, budgets)
+        assert all(core == 0 for core in result.placed.values())
+
+    def test_hottest_objects_win_when_capacity_short(self):
+        objs = objects_of_sizes([100] * 4, heats=[1, 9, 5, 7])
+        budgets = make_budgets(100, 2)   # room for two objects total
+        result = pack(objs, budgets)
+        placed_names = {o.name for o in result.placed}
+        assert placed_names == {"o1", "o3"}
+        assert {o.name for o in result.unplaced} == {"o0", "o2"}
+
+    def test_oversized_object_unplaced(self):
+        objs = objects_of_sizes([5000])
+        result = pack(objs, make_budgets(1000, 4))
+        assert result.unplaced == objs
+
+    def test_cluster_members_colocated(self):
+        # o0 then its mate o3 are the two hottest, so the cluster home
+        # still has room when the mate is placed.
+        objs = objects_of_sizes([100] * 4, heats=[4, 1, 2, 3])
+        objs[0].cluster_key = "pair"
+        objs[3].cluster_key = "pair"
+        budgets = make_budgets(250, 4)
+        result = pack(objs, budgets)
+        assert result.placed[objs[0]] == result.placed[objs[3]]
+        # The remaining objects could not all share that core.
+        assert len(set(result.placed.values())) == 2
+
+    def test_cluster_respects_capacity(self):
+        objs = objects_of_sizes([100, 100], heats=[2, 1])
+        objs[0].cluster_key = "k"
+        objs[1].cluster_key = "k"
+        budgets = make_budgets(100, 2)   # cluster cannot fit together
+        result = pack(objs, budgets)
+        assert len(result.placed) == 2
+        cores = set(result.placed.values())
+        assert len(cores) == 2
+
+    def test_deterministic(self):
+        objs = objects_of_sizes([100] * 8, heats=[3, 1, 4, 1, 5, 9, 2, 6])
+        a = pack(objs, make_budgets(300, 3))
+        b = pack(objs, make_budgets(300, 3))
+        assert {o.name: c for o, c in a.placed.items()} == \
+            {o.name: c for o, c in b.placed.items()}
+
+    def test_placed_bytes(self):
+        objs = objects_of_sizes([100, 200])
+        result = pack(objs, make_budgets(1000, 1))
+        assert result.placed_bytes == 300
+
+
+class TestOtherPolicies:
+    def test_balanced_spreads_load(self):
+        objs = objects_of_sizes([100] * 4)
+        result = pack_balanced(objs, make_budgets(1000, 4))
+        assert len(set(result.placed.values())) == 4
+
+    def test_hash_is_popularity_blind(self):
+        objs = objects_of_sizes([100] * 8)
+        result = pack_hash(objs, make_budgets(1000, 4))
+        for o, core in result.placed.items():
+            assert core == o.oid % 4
+
+    def test_random_is_seed_deterministic(self):
+        objs = objects_of_sizes([100] * 8)
+        a = pack_random(objs, make_budgets(1000, 4), seed=5)
+        b = pack_random(objs, make_budgets(1000, 4), seed=5)
+        assert {o.name: c for o, c in a.placed.items()} == \
+            {o.name: c for o, c in b.placed.items()}
+
+    def test_get_policy(self):
+        assert get_policy("first_fit") is pack
+        with pytest.raises(PackingError):
+            get_policy("nope")
+
+
+@settings(max_examples=50)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=2000),
+                      max_size=40),
+       capacity=st.integers(min_value=1, max_value=4000),
+       n_cores=st.integers(min_value=1, max_value=8),
+       policy=st.sampled_from(["first_fit", "balanced", "hash", "random"]))
+def test_packing_invariants(sizes, capacity, n_cores, policy):
+    """Every policy: budgets never overflow, every object is placed or
+    unplaced exactly once, placements only go to existing cores."""
+    objs = objects_of_sizes(sizes)
+    budgets = make_budgets(capacity, n_cores)
+    result = get_policy(policy)(objs, budgets)
+    used = {b.core_id: 0 for b in budgets}
+    for o, core in result.placed.items():
+        assert 0 <= core < n_cores
+        used[core] += o.size
+    for budget in budgets:
+        assert used[budget.core_id] <= budget.capacity_bytes
+        assert budget.used_bytes == used[budget.core_id]
+    assert len(result.placed) + len(result.unplaced) == len(objs)
+    assert set(result.placed) | set(result.unplaced) == set(objs)

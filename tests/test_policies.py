@@ -1,0 +1,121 @@
+"""Tests for repro.core.policies (§6.2 replication and replacement)."""
+
+from repro.core.object_table import CtObject, ObjectTable
+from repro.core.packing import make_budgets
+from repro.core.policies import LfuReplacement, ReplicationPolicy
+from repro.cpu.topology import MachineSpec
+
+from tests.helpers import tiny_spec
+
+
+def hot_object(name="hot", heat=100.0, size=1024, read_only=True):
+    obj = CtObject(name, 0, size, read_only=read_only)
+    obj.heat = heat
+    return obj
+
+
+class TestReplicationPolicy:
+    def test_disabled_by_default(self):
+        policy = ReplicationPolicy()
+        assert not policy.wants_replicas(hot_object(), mean_heat=1.0)
+
+    def test_wants_replicas_needs_heat_factor(self):
+        policy = ReplicationPolicy(enabled=True, heat_factor=4.0)
+        assert policy.wants_replicas(hot_object(heat=40), mean_heat=10)
+        assert not policy.wants_replicas(hot_object(heat=39), mean_heat=10)
+
+    def test_never_replicates_writable_objects(self):
+        policy = ReplicationPolicy(enabled=True)
+        obj = hot_object(read_only=False)
+        assert not policy.wants_replicas(obj, mean_heat=1.0)
+
+    def test_replicate_one_per_chip(self):
+        spec = tiny_spec()
+        policy = ReplicationPolicy(enabled=True, max_replicas=4)
+        table = ObjectTable()
+        obj = hot_object()
+        table.assign(obj, 0)                       # chip 0
+        budgets = make_budgets(10_000, spec.n_cores)
+        added = policy.replicate(obj, table, budgets, spec)
+        # One replica added on chip 1 (chip 0 already has the original).
+        assert len(added) == 1
+        assert spec.chip_of(added[0]) == 1
+        assert policy.replicas_created == 1
+
+    def test_replicate_respects_budget(self):
+        spec = tiny_spec()
+        policy = ReplicationPolicy(enabled=True)
+        table = ObjectTable()
+        obj = hot_object(size=5000)
+        table.assign(obj, 0)
+        budgets = make_budgets(1000, spec.n_cores)   # nothing fits
+        assert policy.replicate(obj, table, budgets, spec) == []
+
+    def test_replicate_respects_max_replicas(self):
+        spec = MachineSpec.amd16()
+        policy = ReplicationPolicy(enabled=True, max_replicas=2)
+        table = ObjectTable()
+        obj = hot_object()
+        table.assign(obj, 0)
+        budgets = make_budgets(10_000, spec.n_cores)
+        added = policy.replicate(obj, table, budgets, spec)
+        assert len(obj.assigned_cores) == 2
+        assert len(added) == 1
+
+    def test_unassigned_object_not_replicated(self):
+        spec = tiny_spec()
+        policy = ReplicationPolicy(enabled=True)
+        assert policy.replicate(hot_object(), ObjectTable(),
+                                make_budgets(1000, 4), spec) == []
+
+    def test_choose_replica_prefers_same_chip(self):
+        spec = tiny_spec()         # cores 0,1 on chip 0; 2,3 on chip 1
+        obj = hot_object()
+        obj.assigned_cores = [0, 3]
+        assert ReplicationPolicy.choose_replica(obj, 1, spec) == 3
+        assert ReplicationPolicy.choose_replica(obj, 0, spec) == 0
+
+
+class TestLfuReplacement:
+    def test_disabled_returns_none(self):
+        policy = LfuReplacement(enabled=False)
+        assert policy.try_make_room(hot_object(), ObjectTable(),
+                                    make_budgets(100, 1), 64) is None
+
+    def test_evicts_coldest_for_hotter(self):
+        policy = LfuReplacement(enabled=True, margin=1.5)
+        table = ObjectTable()
+        cold = hot_object("cold", heat=2.0, size=800)
+        table.assign(cold, 0)
+        budgets = make_budgets(1000, 1)
+        budgets[0].charge(800)
+        newcomer = hot_object("new", heat=50.0, size=700)
+        core = policy.try_make_room(newcomer, table, budgets, 64)
+        assert core == 0
+        assert not cold.assigned
+        assert policy.evictions == 1
+        assert budgets[0].fits(700)
+
+    def test_margin_protects_warm_objects(self):
+        policy = LfuReplacement(enabled=True, margin=1.5)
+        table = ObjectTable()
+        warm = hot_object("warm", heat=40.0, size=800)
+        table.assign(warm, 0)
+        budgets = make_budgets(1000, 1)
+        budgets[0].charge(800)
+        newcomer = hot_object("new", heat=50.0)   # 50 < 1.5 * 40
+        assert policy.try_make_room(newcomer, table, budgets, 64) is None
+        assert warm.assigned
+
+    def test_evicts_several_until_room(self):
+        policy = LfuReplacement(enabled=True, margin=1.0)
+        table = ObjectTable()
+        budgets = make_budgets(1000, 1)
+        for index in range(2):
+            cold = hot_object(f"c{index}", heat=1.0, size=500)
+            table.assign(cold, 0)
+            budgets[0].charge(500)
+        newcomer = hot_object("new", heat=100.0, size=900)
+        core = policy.try_make_room(newcomer, table, budgets, 64)
+        assert core == 0
+        assert policy.evictions == 2

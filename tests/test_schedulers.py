@@ -1,0 +1,153 @@
+"""Tests for the baseline schedulers (repro.sched)."""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.errors import SchedulerError
+from repro.sched.thread_clustering import (ThreadClusteringScheduler,
+                                           cosine_similarity)
+from repro.sched.thread_sched import ThreadScheduler
+from repro.sched.work_stealing import WorkStealingScheduler
+from repro.sim.engine import Simulator
+from repro.threads.program import Compute, CtEnd, CtStart
+from repro.threads.thread import SimThread
+
+from tests.helpers import tiny_spec
+
+
+def dummy():
+    yield Compute(1)
+
+
+class TestThreadScheduler:
+    def test_round_robin(self):
+        scheduler = ThreadScheduler()
+        scheduler.bind(Machine(tiny_spec()))
+        cores = [scheduler.place_thread(SimThread(dummy()))
+                 for _ in range(5)]
+        assert cores == [0, 1, 2, 3, 0]
+
+    def test_annotations_are_inert(self):
+        scheduler = ThreadScheduler()
+        machine = Machine(tiny_spec())
+        scheduler.bind(machine)
+        thread = SimThread(dummy())
+        assert scheduler.on_ct_start(thread, object(), machine.cores[0],
+                                     0) is None
+        assert scheduler.on_ct_end(thread, machine.cores[0], 0) is None
+
+    def test_unbound_scheduler_rejects_placement(self):
+        with pytest.raises(SchedulerError):
+            ThreadScheduler()._check_core(0)
+
+    def test_stats(self):
+        scheduler = ThreadScheduler()
+        scheduler.bind(Machine(tiny_spec()))
+        scheduler.place_thread(SimThread(dummy()))
+        assert scheduler.stats()["placements"] == 1
+
+
+class TestWorkStealing:
+    def test_idle_core_steals_from_deep_queue(self):
+        machine = Machine(tiny_spec())
+        scheduler = WorkStealingScheduler()
+        sim = Simulator(machine, scheduler)
+        def busy():
+            for _ in range(20):
+                yield Compute(100)
+        # Pile three threads on core 0; cores 1-3 idle.
+        for _ in range(3):
+            sim.spawn(busy(), core_id=0)
+        sim.run(until=10_000)
+        assert scheduler.steals > 0
+        # Stolen work ran elsewhere.
+        others = sum(machine.cores[c].counters.busy_cycles
+                     for c in range(1, 4))
+        assert others > 0
+
+    def test_no_steal_when_nothing_queued(self):
+        machine = Machine(tiny_spec())
+        scheduler = WorkStealingScheduler()
+        sim = Simulator(machine, scheduler)
+        sim.spawn(dummy(), core_id=0)
+        sim.run(until=1000)
+        assert scheduler.steals == 0
+
+
+class TestCosineSimilarity:
+    def test_identical_histograms(self):
+        h = {1: 3, 2: 4}
+        assert cosine_similarity(h, h) == pytest.approx(1.0)
+
+    def test_disjoint_histograms(self):
+        assert cosine_similarity({1: 5}, {2: 5}) == 0.0
+
+    def test_empty(self):
+        assert cosine_similarity({}, {1: 1}) == 0.0
+
+    def test_symmetry(self):
+        a, b = {1: 2, 2: 1}, {1: 1, 3: 4}
+        assert cosine_similarity(a, b) == pytest.approx(
+            cosine_similarity(b, a))
+
+
+class TestThreadClustering:
+    def _run(self, make_programs, recluster=64):
+        machine = Machine(tiny_spec())
+        scheduler = ThreadClusteringScheduler(
+            recluster_every_ops=recluster)
+        sim = Simulator(machine, scheduler)
+        make_programs(sim)
+        sim.run(until=3_000_000)
+        return machine, scheduler, sim
+
+    def test_uniform_sharing_spreads_threads(self):
+        """When every thread shares everything (the paper's workload),
+        clustering must not pile the whole load on one chip."""
+        from repro.core.object_table import CtObject
+        objs = [CtObject(f"o{i}", i * 4096, 64) for i in range(8)]
+        from repro.sim.rng import make_rng
+        def make(sim):
+            def program(core_id):
+                rng = make_rng(0, core_id)
+                for _ in range(200):
+                    yield CtStart(objs[rng.randrange(8)])
+                    yield Compute(50)
+                    yield CtEnd()
+            for core in range(4):
+                sim.spawn(program(core), core_id=core)
+        machine, scheduler, sim = self._run(make)
+        assert scheduler.reclusterings > 0
+        chips = {}
+        for thread in sim.threads:
+            chip = scheduler._chip_of_thread.get(thread.tid)
+            chips[chip] = chips.get(chip, 0) + 1
+        # 4 threads over 2 chips: each chip gets exactly its share.
+        assert chips.get(0, 0) == 2 and chips.get(1, 0) == 2
+
+    def test_disjoint_sharing_groups_cluster_together(self):
+        """Threads sharing a working set land on the same chip."""
+        from repro.core.object_table import CtObject
+        group_a = [CtObject(f"a{i}", i * 4096, 64) for i in range(4)]
+        group_b = [CtObject(f"b{i}", (100 + i) * 4096, 64)
+                   for i in range(4)]
+        from repro.sim.rng import make_rng
+        def make(sim):
+            def program(core_id, objs):
+                rng = make_rng(core_id, "p")
+                for _ in range(300):
+                    yield CtStart(objs[rng.randrange(4)])
+                    yield Compute(50)
+                    yield CtEnd()
+            # Threads 0,2 share group A; threads 1,3 share group B,
+            # placed so clustering has to move somebody.
+            sim.spawn(program(0, group_a), core_id=0)
+            sim.spawn(program(1, group_b), core_id=1)
+            sim.spawn(program(2, group_a), core_id=2)
+            sim.spawn(program(3, group_b), core_id=3)
+        machine, scheduler, sim = self._run(make)
+        by_tid = scheduler._chip_of_thread
+        tids = [t.tid for t in sim.threads]
+        assert by_tid[tids[0]] == by_tid[tids[2]]
+        assert by_tid[tids[1]] == by_tid[tids[3]]
+        assert by_tid[tids[0]] != by_tid[tids[1]]

@@ -1,0 +1,93 @@
+"""Tests for repro.workloads.webserver."""
+
+import pytest
+
+from repro.bench.harness import SCHEDULERS
+from repro.cpu.machine import Machine
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+from repro.threads.program import (Acquire, Compute, CtEnd, CtStart,
+                                   Release, Scan, Store)
+from repro.workloads.webserver import WebServerSpec, WebServerWorkload
+
+from tests.helpers import tiny_spec
+
+
+def tiny_server(**overrides):
+    fields = dict(n_dirs=4, files_per_dir=16, content_bytes=256,
+                  threads_per_core=1, cluster_bytes=512)
+    fields.update(overrides)
+    return WebServerSpec(**fields)
+
+
+class TestConstruction:
+    def test_objects_cover_all_tiers(self):
+        machine = Machine(tiny_spec())
+        workload = WebServerWorkload(machine, tiny_server())
+        objects = workload.objects()
+        names = {obj.name for obj in objects}
+        assert "conn-table" in names
+        assert any(name.startswith("dir:") for name in names)
+        assert any(name.startswith("content:") for name in names)
+
+    def test_conn_table_is_writable_object(self):
+        machine = Machine(tiny_spec())
+        workload = WebServerWorkload(machine, tiny_server())
+        assert not workload.conn_table.read_only
+        assert all(obj.read_only for obj in workload.content)
+
+    def test_directory_and_content_share_cluster_key(self):
+        machine = Machine(tiny_spec())
+        workload = WebServerWorkload(machine, tiny_server())
+        for directory, content in zip(workload.efsl.directories,
+                                      workload.content):
+            assert directory.object.cluster_key == content.cluster_key
+            assert directory.object.cluster_key is not None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WebServerSpec(n_dirs=0).validate()
+        with pytest.raises(ConfigError):
+            WebServerSpec(content_bytes=0).validate()
+
+
+class TestRequestStream:
+    def test_request_item_sequence(self):
+        machine = Machine(tiny_spec())
+        workload = WebServerWorkload(machine, tiny_server())
+        program = workload.make_program(0)
+        items = []
+        # One full request = everything up to the second CtStart run of
+        # the *next* request; collect generously and inspect the head.
+        for _ in range(14):
+            items.append(next(program))
+        kinds = [type(item) for item in items]
+        # Connection op first (bracketed store under the table lock)...
+        assert kinds[0] is CtStart
+        assert kinds[1] is Acquire
+        assert kinds[2] is Store
+        assert kinds[3] is Release
+        assert kinds[4] is CtEnd
+        # ...then parse, then the annotated lookup begins.
+        assert kinds[5] is Compute
+        assert kinds[6] is CtStart
+
+    def test_end_to_end_under_both_schedulers(self):
+        for name in ("thread", "coretime"):
+            machine = Machine(tiny_spec())
+            sim = Simulator(machine, SCHEDULERS[name]())
+            workload = WebServerWorkload(machine, tiny_server())
+            workload.spawn_all(sim)
+            sim.run(until=400_000)
+            assert workload.requests_served > 0, name
+
+    def test_stores_hit_connection_table(self):
+        machine = Machine(tiny_spec())
+        sim = Simulator(machine, SCHEDULERS["thread"]())
+        workload = WebServerWorkload(machine, tiny_server())
+        workload.spawn_all(sim)
+        sim.run(until=200_000)
+        stores = sum(machine.memory.counters[c].stores
+                     for c in range(machine.n_cores))
+        # One table store plus two lock stores per request, per tier.
+        assert stores >= workload.requests_served
