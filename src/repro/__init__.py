@@ -32,6 +32,7 @@ from repro.errors import (ConfigError, DeadlockError, FilesystemError,
                           PackingError, ReproError, SchedulerError,
                           SimulationError)
 from repro.fs import EfslFat, FatFilesystem
+from repro.obs import Observability
 from repro.sched import (SchedulerRuntime, ThreadClusteringScheduler,
                          ThreadScheduler, WorkStealingScheduler)
 from repro.sim import RunResult, Simulator
@@ -59,6 +60,7 @@ __all__ = [
     "ObjectOpsSpec",
     "ObjectOpsWorkload",
     "ObjectTable",
+    "Observability",
     "OperationTrace",
     "TraceReplayWorkload",
     "WebServerSpec",

@@ -3,39 +3,108 @@
 Regenerates any figure or ablation from DESIGN.md §4 and writes the text
 report to ``benchmarks/results/``.  ``all`` runs everything; ``--full``
 uses the long profile for the two paper figures.
+
+Observability: ``--trace-out run.trace.json`` captures every simulator in
+the experiment into one Chrome trace (load it at https://ui.perfetto.dev),
+``--metrics-out metrics.json`` dumps the metrics-registry snapshot, and
+``--seed N`` overrides the workload RNG seed where the experiment supports
+it.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 import time
 
 from repro.bench.figures import EXPERIMENTS
 from repro.bench.report import save_report
+from repro.obs import Observability
+
+
+def _describe(runner) -> str:
+    """First line of the experiment's docstring."""
+    doc = inspect.getdoc(runner)
+    return doc.splitlines()[0] if doc else ""
+
+
+def _list_experiments() -> str:
+    width = max(len(name) for name in EXPERIMENTS)
+    lines = ["available experiments:"]
+    for name in sorted(EXPERIMENTS):
+        lines.append(f"  {name:<{width}}  {_describe(EXPERIMENTS[name])}")
+    lines.append(f"  {'all':<{width}}  every experiment above, in order")
+    return "\n".join(lines)
+
+
+def _derived_path(path: str, name: str, many: bool) -> str:
+    """Output path for one experiment; ``fig2`` of ``out.json`` becomes
+    ``out.fig2.json`` when several experiments share one --*-out flag."""
+    if not many:
+        return path
+    stem, dot, suffix = path.rpartition(".")
+    if not dot:
+        return f"{path}.{name}"
+    return f"{stem}.{name}.{suffix}"
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's figures and the ablations.")
-    parser.add_argument("experiment",
+    parser.add_argument("experiment", nargs="?",
                         choices=sorted(EXPERIMENTS) + ["all"],
-                        help="which experiment to run")
+                        help="which experiment to run "
+                             "(see --list for descriptions)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiments with one-line descriptions "
+                             "and exit")
     parser.add_argument("--full", action="store_true",
                         help="long profile (more points, longer windows) "
                              "for fig4a/fig4b")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed override (experiments "
+                             "that take one)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome/Perfetto trace of every "
+                             "simulator run to PATH")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the metrics-registry snapshot (JSON) "
+                             "to PATH")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the report file paths")
     args = parser.parse_args(argv)
 
+    if args.list:
+        print(_list_experiments())
+        return 0
+    if args.experiment is None:
+        parser.error("experiment is required (or use --list)")
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
+    many = len(names) > 1
+    want_obs = args.trace_out is not None or args.metrics_out is not None
     for name in names:
         runner = EXPERIMENTS[name]
+        supported = inspect.signature(runner).parameters
         kwargs = {}
         if name in ("fig4a", "fig4b"):
             kwargs["profile"] = "full" if args.full else "quick"
+        if args.seed is not None:
+            if "seed" in supported:
+                kwargs["seed"] = args.seed
+            else:
+                print(f"[{name}] note: --seed not supported, ignored")
+        obs = None
+        if want_obs and "obs" in supported:
+            obs = Observability(events=args.trace_out is not None)
+            kwargs["obs"] = obs
+        elif want_obs:
+            print(f"[{name}] note: --trace-out/--metrics-out not "
+                  "supported, ignored")
         started = time.perf_counter()
         result = runner(**kwargs)
         elapsed = time.perf_counter() - started
@@ -44,6 +113,18 @@ def main(argv=None) -> int:
             print(result.report)
             print()
         print(f"[{name}] {elapsed:.1f}s -> {path}")
+        if obs is not None:
+            if args.trace_out is not None:
+                out = _derived_path(args.trace_out, name, many)
+                obs.write_chrome_trace(out)
+                print(f"[{name}] trace -> {out}")
+            if args.metrics_out is not None:
+                out = _derived_path(args.metrics_out, name, many)
+                with open(out, "w", encoding="utf-8") as stream:
+                    json.dump(obs.metrics_snapshot(), stream, indent=2,
+                              sort_keys=True)
+                    stream.write("\n")
+                print(f"[{name}] metrics -> {out}")
     return 0
 
 

@@ -82,7 +82,8 @@ def _profile(profile) -> Profile:
 # E1 — Figure 4(a): uniform directory popularity
 # ---------------------------------------------------------------------------
 
-def figure_4a(profile="quick", scale: int = BENCH_SCALE) -> FigureResult:
+def figure_4a(profile="quick", scale: int = BENCH_SCALE,
+              seed: Optional[int] = None, obs=None) -> FigureResult:
     """Resolutions/s vs total data size, uniform popularity (Figure 4a)."""
     prof = _profile(profile)
     machine_spec = MachineSpec.scaled(scale)
@@ -91,7 +92,8 @@ def figure_4a(profile="quick", scale: int = BENCH_SCALE) -> FigureResult:
     xs = [spec.total_data_bytes / 1024 for spec in workload_specs]
     series = sweep(machine_spec, ("thread", "coretime"), workload_specs,
                    warmup_cycles=prof.warmup_cycles,
-                   measure_cycles=prof.measure_cycles, xs=xs)
+                   measure_cycles=prof.measure_cycles, xs=xs,
+                   seed=seed, obs=obs)
     report = figure_report(
         "Figure 4(a): file system benchmark, uniform directory popularity",
         series, x_label="total data size (KB, scaled machine)",
@@ -107,7 +109,8 @@ def figure_4a(profile="quick", scale: int = BENCH_SCALE) -> FigureResult:
 # ---------------------------------------------------------------------------
 
 def figure_4b(profile="quick", scale: int = BENCH_SCALE,
-              rotate: bool = True) -> FigureResult:
+              rotate: bool = True, seed: Optional[int] = None,
+              obs=None) -> FigureResult:
     """Resolutions/s vs data size, oscillating active set (Figure 4b)."""
     prof = _profile(profile)
     machine_spec = MachineSpec.scaled(scale)
@@ -120,7 +123,8 @@ def figure_4b(profile="quick", scale: int = BENCH_SCALE,
     xs = [spec.total_data_bytes / 1024 for spec in workload_specs]
     series = sweep(machine_spec, ("thread", "coretime"), workload_specs,
                    warmup_cycles=prof.warmup_cycles,
-                   measure_cycles=prof.measure_cycles, xs=xs)
+                   measure_cycles=prof.measure_cycles, xs=xs,
+                   seed=seed, obs=obs)
     report = figure_report(
         "Figure 4(b): file system benchmark, oscillated directory "
         "popularity",
@@ -135,7 +139,8 @@ def figure_4b(profile="quick", scale: int = BENCH_SCALE,
 # E3 — Figure 2: cache contents under the two schedulers
 # ---------------------------------------------------------------------------
 
-def figure_2(n_dirs: int = 20, run_cycles: int = 3_000_000) -> FigureResult:
+def figure_2(n_dirs: int = 20, run_cycles: int = 3_000_000,
+             seed: Optional[int] = None, obs=None) -> FigureResult:
     """Snapshot of per-cache directory residency (Figure 2).
 
     Uses a single-chip, four-core machine sized so that a core's private
@@ -154,10 +159,11 @@ def figure_2(n_dirs: int = 20, run_cycles: int = 3_000_000) -> FigureResult:
             ("O2 scheduler (CoreTime)",
              coretime_factory(monitor_interval=50_000))):
         machine = Machine(spec)
-        simulator = Simulator(machine, factory())
+        simulator = Simulator(machine, factory(), obs=obs)
         workload_spec = DirWorkloadSpec(
             n_dirs=n_dirs, files_per_dir=128, cluster_bytes=512,
-            think_cycles=12, threads_per_core=4)
+            think_cycles=12, threads_per_core=4,
+            seed=42 if seed is None else seed)
         workload = DirectoryLookupWorkload(machine, workload_spec)
         workload.spawn_all(simulator)
         simulator.run(until=run_cycles)
@@ -220,7 +226,9 @@ def migration_cost_sweep(costs: Sequence[int] = (0, 125, 250, 500, 1000,
                          n_dirs: int = 320,
                          scale: int = BENCH_SCALE,
                          warmup_cycles: int = 1_500_000,
-                         measure_cycles: int = 1_500_000) -> FigureResult:
+                         measure_cycles: int = 1_500_000,
+                         seed: Optional[int] = None, obs=None) \
+        -> FigureResult:
     """CoreTime throughput as the migration cost varies (§5 measured 2000
     cycles on real hardware; §6.1 expects active messages to cut it)."""
     workload_spec = DirWorkloadSpec.scaled(scale, n_dirs=n_dirs)
@@ -230,10 +238,11 @@ def migration_cost_sweep(costs: Sequence[int] = (0, 125, 250, 500, 1000,
         points.append(run_point(
             machine_spec, SCHEDULERS["coretime"], workload_spec,
             warmup_cycles=warmup_cycles, measure_cycles=measure_cycles,
-            x=cost))
+            x=cost, seed=seed, obs=obs))
     baseline = run_point(MachineSpec.scaled(scale), SCHEDULERS["thread"],
                          workload_spec, warmup_cycles=warmup_cycles,
-                         measure_cycles=measure_cycles, x=0)
+                         measure_cycles=measure_cycles, x=0,
+                         seed=seed, obs=obs)
     series = [Series("coretime", points),
               Series("thread (any cost)", [baseline] * len(points))]
     report = figure_report(
@@ -254,7 +263,9 @@ def migration_cost_sweep(costs: Sequence[int] = (0, 125, 250, 500, 1000,
 def clustering_comparison(n_dirs_list: Sequence[int] = (64, 160, 320),
                           scale: int = BENCH_SCALE,
                           warmup_cycles: int = 1_500_000,
-                          measure_cycles: int = 1_500_000) -> FigureResult:
+                          measure_cycles: int = 1_500_000,
+                          seed: Optional[int] = None, obs=None) \
+        -> FigureResult:
     """Thread clustering vs plain threads vs CoreTime (§2: "Thread
     clustering will not improve performance since all threads look up
     files in the same directories")."""
@@ -265,7 +276,8 @@ def clustering_comparison(n_dirs_list: Sequence[int] = (64, 160, 320),
     series = sweep(machine_spec,
                    ("thread", "thread-clustering", "coretime"),
                    workload_specs, warmup_cycles=warmup_cycles,
-                   measure_cycles=measure_cycles, xs=xs)
+                   measure_cycles=measure_cycles, xs=xs,
+                   seed=seed, obs=obs)
     report = figure_report(
         "E6: thread clustering vs O2 scheduling",
         series, x_label="total data size (KB)",
@@ -282,7 +294,8 @@ def clustering_comparison(n_dirs_list: Sequence[int] = (64, 160, 320),
 
 def future_multicore(n_dirs_list: Sequence[int] = (64, 160, 320, 512),
                      warmup_cycles: int = 1_500_000,
-                     measure_cycles: int = 1_500_000) -> FigureResult:
+                     measure_cycles: int = 1_500_000,
+                     seed: Optional[int] = None, obs=None) -> FigureResult:
     """CoreTime's advantage on today's machine vs a §6.1 future machine
     (scarcer off-chip bandwidth, bigger caches, cheap active-message
     migration)."""
@@ -298,7 +311,8 @@ def future_multicore(n_dirs_list: Sequence[int] = (64, 160, 320, 512),
         xs = [spec.total_data_bytes / 1024 for spec in specs]
         pair = sweep(machine_spec, ("thread", "coretime"), specs,
                      warmup_cycles=warmup_cycles,
-                     measure_cycles=measure_cycles, xs=xs)
+                     measure_cycles=measure_cycles, xs=xs,
+                     seed=seed, obs=obs)
         ratios = [c.kops_per_sec / max(1.0, t.kops_per_sec)
                   for t, c in zip(pair[0].points, pair[1].points)]
         details[label] = {"series": pair, "ratios": ratios}
@@ -321,7 +335,9 @@ def future_multicore(n_dirs_list: Sequence[int] = (64, 160, 320, 512),
 def replication_ablation(n_objects_list: Sequence[int] = (96, 448),
                          scale: int = BENCH_SCALE,
                          warmup_cycles: int = 1_500_000,
-                         measure_cycles: int = 1_500_000) -> FigureResult:
+                         measure_cycles: int = 1_500_000,
+                         seed: Optional[int] = None, obs=None) \
+        -> FigureResult:
     """Zipf-skewed read-only objects: replicate the hot ones or not.
 
     The objects are lock-free (readers need no mutual exclusion — a
@@ -347,7 +363,8 @@ def replication_ablation(n_objects_list: Sequence[int] = (96, 448),
                    warmup_cycles=warmup_cycles,
                    measure_cycles=measure_cycles,
                    xs=list(n_objects_list),
-                   workload_factory=factory, schedulers=schedulers)
+                   workload_factory=factory, schedulers=schedulers,
+                   seed=seed, obs=obs)
     # Label the series by configuration, not by the shared runtime name.
     for label, s in zip(schedulers, series):
         s.label = label
@@ -365,7 +382,9 @@ def replication_ablation(n_objects_list: Sequence[int] = (96, 448),
 
 def replacement_ablation(n_dirs: int = 1024, scale: int = BENCH_SCALE,
                          warmup_cycles: int = 2_000_000,
-                         measure_cycles: int = 4_000_000) -> FigureResult:
+                         measure_cycles: int = 4_000_000,
+                         seed: Optional[int] = None, obs=None) \
+        -> FigureResult:
     """Working set far beyond on-chip capacity with a *shifting* hot set:
     keep the currently-frequent objects on-chip (LFU) or leave the table
     frozen at whatever was packed first.
@@ -389,7 +408,7 @@ def replacement_ablation(n_dirs: int = 1024, scale: int = BENCH_SCALE,
                    warmup_cycles=warmup_cycles,
                    measure_cycles=measure_cycles,
                    xs=[workload_spec.total_data_bytes / 1024],
-                   schedulers=schedulers)
+                   schedulers=schedulers, seed=seed, obs=obs)
     for label, s in zip(schedulers, series):
         s.label = label
     report = figure_report(
@@ -410,7 +429,8 @@ def replacement_ablation(n_dirs: int = 1024, scale: int = BENCH_SCALE,
 def object_clustering_ablation(n_objects: int = 64,
                                scale: int = BENCH_SCALE,
                                warmup_cycles: int = 1_500_000,
-                               measure_cycles: int = 1_500_000) \
+                               measure_cycles: int = 1_500_000,
+                               seed: Optional[int] = None, obs=None) \
         -> FigureResult:
     """Operations that touch an object then its partner: co-locating the
     pair saves one migration round trip per paired operation."""
@@ -440,17 +460,17 @@ def object_clustering_ablation(n_objects: int = 64,
                          warmup_cycles=warmup_cycles,
                          measure_cycles=measure_cycles, xs=[n_objects],
                          workload_factory=plain_factory,
-                         schedulers=schedulers)
+                         schedulers=schedulers, seed=seed, obs=obs)
     series_auto = sweep(machine_spec, ("coretime+autocluster",), [base],
                         warmup_cycles=warmup_cycles,
                         measure_cycles=measure_cycles, xs=[n_objects],
                         workload_factory=plain_factory,
-                        schedulers=schedulers)
+                        schedulers=schedulers, seed=seed, obs=obs)
     series_declared = sweep(machine_spec, ("coretime",), [base],
                             warmup_cycles=warmup_cycles,
                             measure_cycles=measure_cycles, xs=[n_objects],
                             workload_factory=declared_factory,
-                            schedulers=schedulers)
+                            schedulers=schedulers, seed=seed, obs=obs)
     series = [series_plain[0], series_auto[0], series_declared[0]]
     series[0].label = "no clustering"
     series[1].label = "learned clusters"
@@ -480,7 +500,8 @@ def object_clustering_ablation(n_objects: int = 64,
 
 def packing_policy_ablation(n_dirs: int = 320, scale: int = BENCH_SCALE,
                             warmup_cycles: int = 1_500_000,
-                            measure_cycles: int = 1_500_000) \
+                            measure_cycles: int = 1_500_000,
+                            seed: Optional[int] = None, obs=None) \
         -> FigureResult:
     """First-fit (the paper's choice) vs alternatives.
 
@@ -503,7 +524,7 @@ def packing_policy_ablation(n_dirs: int = 320, scale: int = BENCH_SCALE,
                    warmup_cycles=warmup_cycles,
                    measure_cycles=measure_cycles,
                    xs=[workload_spec.total_data_bytes / 1024],
-                   schedulers=schedulers)
+                   schedulers=schedulers, seed=seed, obs=obs)
     for label, s in zip(schedulers, series):
         s.label = label
     report = figure_report(

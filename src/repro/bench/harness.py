@@ -9,6 +9,7 @@ benchmarks compare.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -77,18 +78,24 @@ def run_point(machine_spec: MachineSpec,
               warmup_cycles: int = 2_000_000,
               measure_cycles: int = 3_000_000,
               x: Optional[float] = None,
-              workload_factory=None) -> BenchPoint:
+              workload_factory=None,
+              seed: Optional[int] = None,
+              obs=None) -> BenchPoint:
     """Measure one (machine, scheduler, workload) combination.
 
     Throughput is counted over the measurement window only, after a
     warm-up long enough for caches to fill and CoreTime's monitor to
-    assign objects.
+    assign objects.  ``seed`` overrides the workload spec's RNG seed;
+    ``obs`` attaches a (shareable) :class:`~repro.obs.Observability`
+    pipeline to the simulator.
     """
     if warmup_cycles < 0 or measure_cycles <= 0:
         raise ConfigError("warmup must be >= 0 and measure window > 0")
+    if seed is not None:
+        workload_spec = dataclasses.replace(workload_spec, seed=seed)
     machine = Machine(machine_spec)
     scheduler = scheduler_factory()
-    simulator = Simulator(machine, scheduler)
+    simulator = Simulator(machine, scheduler, obs=obs)
     if workload_factory is not None:
         workload = workload_factory(machine, workload_spec)
     else:
@@ -149,8 +156,9 @@ def sweep(machine_spec: MachineSpec,
           measure_cycles: int = 3_000_000,
           xs: Optional[Sequence[float]] = None,
           workload_factory=None,
-          schedulers: Optional[Dict[str, SchedulerFactory]] = None) \
-        -> List[Series]:
+          schedulers: Optional[Dict[str, SchedulerFactory]] = None,
+          seed: Optional[int] = None,
+          obs=None) -> List[Series]:
     """Run every scheduler over every workload spec; returns one
     :class:`Series` per scheduler, in the order given."""
     registry = schedulers or SCHEDULERS
@@ -169,6 +177,6 @@ def sweep(machine_spec: MachineSpec,
                 machine_spec, factory, workload_spec,
                 warmup_cycles=warmup_cycles,
                 measure_cycles=measure_cycles, x=x,
-                workload_factory=workload_factory))
+                workload_factory=workload_factory, seed=seed, obs=obs))
         result.append(Series(name, points))
     return result

@@ -24,6 +24,8 @@ from repro.core.packing import CacheBudget, get_policy, make_budgets
 from repro.core.policies import LfuReplacement, ReplicationPolicy
 from repro.core.rebalancer import Rebalancer
 from repro.errors import SchedulerError
+from repro.obs.events import (ObjectAssigned, ObjectMoved, RebalanceRound,
+                              SchedDecision)
 from repro.sched.base import SchedulerRuntime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -124,6 +126,8 @@ class CoreTimeScheduler(SchedulerRuntime):
         self._op_ctx: Dict[int, Tuple[CtObject, int, int]] = {}
         self.assignments = 0
         self.declined_assignments = 0
+        #: Event bus (None until bound with observability attached).
+        self._bus = None
 
     # ------------------------------------------------------------------
     # runtime wiring
@@ -135,6 +139,19 @@ class CoreTimeScheduler(SchedulerRuntime):
                                     spec.n_cores, self.config.headroom)
         self.monitor = Monitor(self.machine, self.config.heat_decay)
         self._last_monitor = 0
+        obs = self.obs
+        if obs is not None:
+            self._bus = obs.bus
+            registry = obs.metrics
+            if registry is not None:
+                self.rebalancer.attach_metrics(registry)
+                registry.gauge_fn("coretime.objects_assigned",
+                                  lambda: len(self.table))
+                registry.gauge_fn(
+                    "coretime.objects_tracked",
+                    lambda: len(self.monitor.tracked) if self.monitor else 0)
+                registry.gauge_fn("coretime.table_lookups",
+                                  lambda: self.table.lookups)
 
     def place_thread(self, thread: "SimThread") -> int:
         # One cooperative scheduling context per core, round-robin — the
@@ -167,6 +184,10 @@ class CoreTimeScheduler(SchedulerRuntime):
         else:
             target = ReplicationPolicy.choose_replica(
                 obj, core.chip_id, self.machine.spec)
+        bus = self._bus
+        if bus is not None and bus.wants(SchedDecision):
+            bus.publish(SchedDecision(now, core.core_id, thread.name,
+                                      obj.name, target))
         return None if target == core.core_id else target
 
     def on_ct_end(self, thread: "SimThread", core: "Core",
@@ -194,7 +215,7 @@ class CoreTimeScheduler(SchedulerRuntime):
     # assignment machinery
     # ------------------------------------------------------------------
 
-    def _assign_expensive_objects(self) -> None:
+    def _assign_expensive_objects(self, now: int = 0) -> None:
         """Assign every object whose *windowed* miss rate qualifies.
 
         Runs at each monitoring tick, before the window is reset.  Sorting
@@ -230,6 +251,9 @@ class CoreTimeScheduler(SchedulerRuntime):
                     self._owner_bytes.get(obj.owner, 0) + size
             self.table.assign(obj, core_id)
             self.assignments += 1
+            bus = self._bus
+            if bus is not None and bus.wants(ObjectAssigned):
+                bus.publish(ObjectAssigned(now, core_id, obj.name))
             if obj.cluster_key is not None:
                 self._cluster_homes.setdefault(obj.cluster_key, core_id)
             if self.replication.wants_replicas(obj, mean_heat):
@@ -332,11 +356,21 @@ class CoreTimeScheduler(SchedulerRuntime):
         if now - self._last_monitor < self.config.monitor_interval:
             return
         self._last_monitor = now
-        self._assign_expensive_objects()
+        self._assign_expensive_objects(now)
         loads = self.monitor.tick(now)
         if self.config.rebalance:
-            self.rebalancer.rebalance(loads, self.table, self.budgets,
-                                      self.machine.spec.line_size)
+            moved = self.rebalancer.rebalance(
+                loads, self.table, self.budgets,
+                self.machine.spec.line_size)
+            bus = self._bus
+            if moved and bus is not None:
+                if bus.wants(RebalanceRound):
+                    bus.publish(RebalanceRound(now, len(moved)))
+                if bus.wants(ObjectMoved):
+                    for event in moved:
+                        bus.publish(ObjectMoved(now, event.from_core,
+                                                event.obj_name,
+                                                event.to_core, event.heat))
         if self.replication.enabled:
             self._consider_replication()
         if self.affinity is not None:

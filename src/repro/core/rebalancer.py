@@ -54,8 +54,15 @@ class Rebalancer:
         self.moves = 0
         self.invocations = 0
         self.history: List[RebalanceEvent] = []
+        self._c_moves = None
+        self._c_rounds = None
 
     # ------------------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Register push counters on an observability metrics registry."""
+        self._c_moves = registry.counter("rebalance.moves")
+        self._c_rounds = registry.counter("rebalance.rounds")
 
     def rebalance(self, loads: Sequence[CoreLoad], table: ObjectTable,
                   budgets: Sequence[CacheBudget],
@@ -116,6 +123,9 @@ class Rebalancer:
         self.history.extend(events)
         if len(self.history) > 10000:
             del self.history[:5000]
+        if events and self._c_moves is not None:
+            self._c_moves.inc(len(events))
+            self._c_rounds.inc()
         return events
 
     def _pick_target(self, receivers: Sequence[CoreLoad],

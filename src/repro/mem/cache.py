@@ -30,7 +30,7 @@ class LRUCache:
     any) so callers can cascade victims to the next level.
     """
 
-    __slots__ = ("cache_id", "capacity", "_lines", "pinned")
+    __slots__ = ("cache_id", "capacity", "_lines", "pinned", "evictions")
 
     def __init__(self, capacity: int, cache_id: str = "?") -> None:
         if capacity < 1:
@@ -41,6 +41,9 @@ class LRUCache:
         #: Lines exempt from eviction (used by explicit cache control
         #: experiments, §6.1).  Pinned lines still count against capacity.
         self.pinned: set = set()
+        #: Lifetime capacity evictions (victims returned by ``insert``);
+        #: pulled into the observability metrics registry as a gauge.
+        self.evictions = 0
 
     def __contains__(self, line: int) -> bool:
         return line in self._lines
@@ -70,6 +73,7 @@ class LRUCache:
         lines[line] = None
         if len(lines) <= self.capacity:
             return None
+        self.evictions += 1
         if not self.pinned:
             victim, _ = lines.popitem(last=False)
             return victim
@@ -112,7 +116,7 @@ class SetAssociativeCache:
     """
 
     __slots__ = ("cache_id", "capacity", "n_sets", "ways", "_sets", "_size",
-                 "pinned")
+                 "pinned", "evictions")
 
     def __init__(self, capacity: int, ways: int = 8,
                  cache_id: str = "?") -> None:
@@ -133,6 +137,7 @@ class SetAssociativeCache:
             OrderedDict() for _ in range(n_sets)]
         self._size = 0
         self.pinned: set = set()
+        self.evictions = 0
 
     def _set_of(self, line: int) -> "OrderedDict[int, None]":
         return self._sets[line & (self.n_sets - 1)]
@@ -170,6 +175,7 @@ class SetAssociativeCache:
             victim = next(iter(bucket))
         del bucket[victim]
         self._size -= 1
+        self.evictions += 1
         return victim
 
     def remove(self, line: int) -> None:

@@ -30,6 +30,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.cpu.topology import MachineSpec
 from repro.errors import ConfigError
 from repro.mem.cache import LRUCache
+from repro.obs.events import CacheEvicted, CacheInvalidated
 from repro.mem.counters import CoreCounters
 from repro.mem.dram import Dram
 from repro.mem.interconnect import Interconnect
@@ -76,6 +77,35 @@ class MemorySystem:
         # Pre-computed per-core values for the hot path.
         self._chip_of = [spec.chip_of(c) for c in range(n_cores)]
         self._lat = spec.latency
+        # Observability: None until attach_observability(); publish sites
+        # gate on it so the un-observed hot path allocates nothing.
+        self._bus = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_observability(self, obs) -> None:
+        """Wire this memory system into an ``Observability`` pipeline.
+
+        Per-event publishing (evictions, invalidations) only activates
+        when the pipeline opted into memory events (``capture_memory``);
+        aggregate statistics are exposed as pull gauges either way.
+        """
+        if obs is None:
+            return
+        self._bus = obs.bus if obs.capture_memory else None
+        registry = obs.metrics
+        if registry is None:
+            return
+        caches = self.l1s + self.l2s + self.l3s
+        registry.gauge_fn(
+            "mem.cache_evictions",
+            lambda: sum(c.evictions for c in caches))
+        registry.gauge_fn(
+            "mem.dram_lines", lambda: self.dram.total_lines_served)
+        registry.gauge_fn(
+            "mem.cross_chip_messages", self.interconnect.cross_chip_messages)
 
     # ------------------------------------------------------------------
     # single-line operations
@@ -114,6 +144,9 @@ class MemorySystem:
                     worst = cost
                 counters.invalidations += 1
             latency += worst
+            bus = self._bus
+            if bus is not None and bus.wants(CacheInvalidated):
+                bus.publish(CacheInvalidated(now, core_id, line, len(others)))
         counters.mem_cycles += latency
         return latency
 
@@ -167,7 +200,7 @@ class MemorySystem:
         if line in l2:
             counters.l2_hits += 1
             l2.remove(line)
-            self._insert_local(core_id, line, already_held=True)
+            self._insert_local(core_id, line, now, already_held=True)
             return lat.l2, SRC_L2
         chip = self._chip_of[core_id]
         l3 = self.l3s[chip]
@@ -184,7 +217,7 @@ class MemorySystem:
             else:
                 l3.remove(line)
                 self.directory.discard(line, self.directory.l3_holder(chip))
-            self._insert_local(core_id, line, already_held=False)
+            self._insert_local(core_id, line, now, already_held=False)
             return lat.l3, SRC_L3
         holder = self._nearest_holder(line, chip)
         if holder is not None:
@@ -200,11 +233,11 @@ class MemorySystem:
                 latency = self.interconnect.remote_cache_latency(
                     chip, holder_chip)
             # Read-sharing: the remote copy stays put; we replicate.
-            self._insert_local(core_id, line, already_held=False)
+            self._insert_local(core_id, line, now, already_held=False)
             return latency, SRC_REMOTE
         counters.dram_loads += 1
         latency = self.dram.load(line, chip, now, sequential)
-        self._insert_local(core_id, line, already_held=False)
+        self._insert_local(core_id, line, now, already_held=False)
         return latency, SRC_DRAM
 
     def _nearest_holder(self, line: int, from_chip: int) -> Optional[int]:
@@ -225,7 +258,7 @@ class MemorySystem:
                     break
         return best
 
-    def _insert_local(self, core_id: int, line: int,
+    def _insert_local(self, core_id: int, line: int, now: int,
                       already_held: bool) -> None:
         """Insert ``line`` at the core's L1, cascading victims downward."""
         directory = self.directory
@@ -246,6 +279,9 @@ class MemorySystem:
         if victim3 is not None:
             # Clean drop: DRAM always has the data.
             directory.discard(victim3, l3_holder)
+            bus = self._bus
+            if bus is not None and bus.wants(CacheEvicted):
+                bus.publish(CacheEvicted(now, core_id, "L3", victim3))
 
     def _drop_from_holder(self, line: int, holder: int) -> None:
         """Remove ``line`` from ``holder``'s caches and the directory."""

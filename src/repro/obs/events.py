@@ -1,0 +1,274 @@
+"""Typed observability events.
+
+Every interesting thing the simulator does is described by one of the
+event classes below: thread lifecycle, scheduling decisions, operation
+boundaries, object (re)assignment, rebalance rounds, cache traffic and
+lock contention.  Events are plain ``__slots__`` classes (cheap to
+construct, no dict) carrying only primitive fields — names, core ids and
+cycle timestamps — so they can be buffered, serialised and exported
+without keeping simulator objects alive.  Each concrete ``__init__``
+assigns every slot directly instead of chaining ``super().__init__``:
+events are constructed tens of thousands of times per run, and the
+flattened form is one call frame instead of three.
+
+The zero-overhead contract: publishers must *not* construct an event
+unless :meth:`repro.obs.bus.EventBus.wants` says someone is listening.
+``EVENT_KINDS`` maps the short ``kind`` strings (used in JSONL dumps and
+the flight recorder) back to classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Type
+
+
+class Event:
+    """Base class: a timestamped simulator event."""
+
+    __slots__ = ("ts",)
+    kind = "event"
+
+    def __init__(self, ts: int) -> None:
+        self.ts = ts
+
+    def _fields(self) -> Tuple[str, ...]:
+        names = []
+        for klass in reversed(type(self).__mro__):
+            names.extend(getattr(klass, "__slots__", ()))
+        return tuple(names)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Primitive dict form (JSONL export, flight-recorder dumps)."""
+        data: Dict[str, Any] = {"kind": self.kind}
+        for name in self._fields():
+            data[name] = getattr(self, name)
+        return data
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{n}={getattr(self, n)!r}"
+                           for n in self._fields())
+        return f"{type(self).__name__}({fields})"
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return all(getattr(self, n) == getattr(other, n)
+                   for n in self._fields())
+
+
+class RunMarker(Event):
+    """A new simulator attached to the shared observability pipeline.
+
+    Exporters split the event stream on these markers, so several runs
+    (e.g. fig2's thread-scheduler and CoreTime passes) become separate
+    processes in one Chrome trace.
+    """
+
+    __slots__ = ("label",)
+    kind = "run"
+
+    def __init__(self, ts: int, label: str) -> None:
+        self.ts = ts
+        self.label = label
+
+
+class CoreEvent(Event):
+    """Base for events that happen on a specific core."""
+
+    __slots__ = ("core",)
+
+    def __init__(self, ts: int, core: int) -> None:
+        self.ts = ts
+        self.core = core
+
+
+class ThreadSpawned(CoreEvent):
+    __slots__ = ("thread",)
+    kind = "spawn"
+
+    def __init__(self, ts: int, core: int, thread: str) -> None:
+        self.ts = ts
+        self.core = core
+        self.thread = thread
+
+
+class ThreadFinished(CoreEvent):
+    __slots__ = ("thread",)
+    kind = "done"
+
+    def __init__(self, ts: int, core: int, thread: str) -> None:
+        self.ts = ts
+        self.core = core
+        self.thread = thread
+
+
+class ThreadArrived(CoreEvent):
+    """A migrating thread's context arrived at its target core."""
+
+    __slots__ = ("thread",)
+    kind = "arrive"
+
+    def __init__(self, ts: int, core: int, thread: str) -> None:
+        self.ts = ts
+        self.core = core
+        self.thread = thread
+
+
+class MigrationStarted(CoreEvent):
+    """A thread left ``core`` for ``target``; it lands at ``arrive_ts``."""
+
+    __slots__ = ("thread", "target", "arrive_ts")
+    kind = "migrate"
+
+    def __init__(self, ts: int, core: int, thread: str, target: int,
+                 arrive_ts: int) -> None:
+        self.ts = ts
+        self.core = core
+        self.thread = thread
+        self.target = target
+        self.arrive_ts = arrive_ts
+
+
+class SchedDecision(CoreEvent):
+    """Outcome of a ``ct_start`` table lookup.
+
+    ``target`` is None when the operation runs locally (object unassigned
+    or already home); otherwise the core the operation migrates to.
+    """
+
+    __slots__ = ("thread", "obj", "target")
+    kind = "sched"
+
+    def __init__(self, ts: int, core: int, thread: str, obj: str,
+                 target: Optional[int]) -> None:
+        self.ts = ts
+        self.core = core
+        self.thread = thread
+        self.obj = obj
+        self.target = target
+
+
+class OperationStarted(CoreEvent):
+    __slots__ = ("thread", "obj")
+    kind = "op_start"
+
+    def __init__(self, ts: int, core: int, thread: str, obj: str) -> None:
+        self.ts = ts
+        self.core = core
+        self.thread = thread
+        self.obj = obj
+
+
+class OperationFinished(CoreEvent):
+    """An annotated operation completed on ``core`` after ``cycles``."""
+
+    __slots__ = ("thread", "obj", "cycles")
+    kind = "op_end"
+
+    def __init__(self, ts: int, core: int, thread: str, obj: str,
+                 cycles: int) -> None:
+        self.ts = ts
+        self.core = core
+        self.thread = thread
+        self.obj = obj
+        self.cycles = cycles
+
+
+class ObjectAssigned(CoreEvent):
+    """CoreTime assigned ``obj`` to ``core``'s cache."""
+
+    __slots__ = ("obj",)
+    kind = "assign"
+
+    def __init__(self, ts: int, core: int, obj: str) -> None:
+        self.ts = ts
+        self.core = core
+        self.obj = obj
+
+
+class ObjectMoved(CoreEvent):
+    """The rebalancer moved ``obj`` from ``core`` to ``target``."""
+
+    __slots__ = ("obj", "target", "heat")
+    kind = "move"
+
+    def __init__(self, ts: int, core: int, obj: str, target: int,
+                 heat: float) -> None:
+        self.ts = ts
+        self.core = core
+        self.obj = obj
+        self.target = target
+        self.heat = heat
+
+
+class RebalanceRound(Event):
+    """One monitoring-window rebalance pass finished (``moves`` moves)."""
+
+    __slots__ = ("moves",)
+    kind = "rebalance"
+
+    def __init__(self, ts: int, moves: int) -> None:
+        self.ts = ts
+        self.moves = moves
+
+
+class CacheEvicted(CoreEvent):
+    """A line left the on-chip hierarchy (dropped from ``level``)."""
+
+    __slots__ = ("level", "line")
+    kind = "evict"
+
+    def __init__(self, ts: int, core: int, level: str, line: int) -> None:
+        self.ts = ts
+        self.core = core
+        self.level = level
+        self.line = line
+
+
+class CacheInvalidated(CoreEvent):
+    """A store on ``core`` invalidated ``copies`` remote copies of
+    ``line``."""
+
+    __slots__ = ("line", "copies")
+    kind = "invalidate"
+
+    def __init__(self, ts: int, core: int, line: int, copies: int) -> None:
+        self.ts = ts
+        self.core = core
+        self.line = line
+        self.copies = copies
+
+
+class LockContended(CoreEvent):
+    """A thread hit a held spin-lock and started spinning.
+
+    Emitted once per contended acquire (the first failed test-and-set),
+    not per retry — the ``sim.lock_spins`` counter tracks every retry.
+    """
+
+    __slots__ = ("thread", "lock")
+    kind = "lock_spin"
+
+    def __init__(self, ts: int, core: int, thread: str, lock: str) -> None:
+        self.ts = ts
+        self.core = core
+        self.thread = thread
+        self.lock = lock
+
+
+#: Control-plane events: cheap enough to record on every run with
+#: observability enabled (at most a few per operation).
+CONTROL_EVENTS: Tuple[Type[Event], ...] = (
+    RunMarker, ThreadSpawned, ThreadFinished, ThreadArrived,
+    MigrationStarted, SchedDecision, OperationStarted, OperationFinished,
+    ObjectAssigned, ObjectMoved, RebalanceRound, LockContended,
+)
+
+#: Memory-system events: one per eviction/invalidation, far hotter than
+#: the control plane; recorded only when explicitly requested
+#: (``Observability(capture_memory=True)``).
+MEMORY_EVENTS: Tuple[Type[Event], ...] = (CacheEvicted, CacheInvalidated)
+
+ALL_EVENTS: Tuple[Type[Event], ...] = CONTROL_EVENTS + MEMORY_EVENTS
+
+EVENT_KINDS: Dict[str, Type[Event]] = {e.kind: e for e in ALL_EVENTS}

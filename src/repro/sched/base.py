@@ -35,6 +35,10 @@ class SchedulerRuntime(abc.ABC):
 
     def __init__(self) -> None:
         self.machine: Optional[Machine] = None
+        #: Observability pipeline, set by the simulator before ``bind``;
+        #: None when telemetry is disabled.  Schedulers that publish must
+        #: gate on ``self.obs is not None`` and ``obs.bus.wants(...)``.
+        self.obs = None
 
     def bind(self, machine: Machine) -> None:
         """Attach to a machine; called once by the simulator."""

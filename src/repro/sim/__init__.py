@@ -1,11 +1,13 @@
 """Discrete-event simulation engine."""
 
+from repro.obs import Observability
 from repro.sim.engine import RunResult, Simulator
 from repro.sim.rng import make_rng, stream_seed
 from repro.sim.trace import (PrintTracer, RecordingTracer, TraceEvent,
-                             Tracer)
+                             Tracer, subscribe_tracer)
 
 __all__ = [
+    "Observability",
     "PrintTracer",
     "RecordingTracer",
     "RunResult",
@@ -14,4 +16,5 @@ __all__ = [
     "Tracer",
     "make_rng",
     "stream_seed",
+    "subscribe_tracer",
 ]

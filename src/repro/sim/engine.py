@@ -27,8 +27,13 @@ from repro.cpu.core import Core
 from repro.cpu.machine import Machine
 from repro.errors import DeadlockError, SimulationError
 from repro.mem.counters import aggregate
+from repro.obs import (MIGRATION_BUCKETS, OP_LATENCY_BUCKETS,
+                       QUEUE_DEPTH_BUCKETS, HistogramSummary,
+                       LockContended, MigrationStarted, Observability,
+                       OperationFinished, OperationStarted, ThreadArrived,
+                       ThreadFinished, ThreadSpawned)
 from repro.sched.base import SchedulerRuntime
-from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.trace import Tracer, subscribe_tracer
 from repro.threads.program import (Acquire, Compute, CtEnd, CtStart, Load,
                                    OpDone, Release, Scan, Store, YieldCore)
 from repro.threads.thread import Program, SimThread, ThreadState
@@ -51,6 +56,13 @@ class RunResult:
     dram_lines: int = 0
     dram_queued_cycles: int = 0
     cross_chip_messages: int = 0
+    #: Operation-latency histogram (cycles between ``ct_start`` and
+    #: ``ct_end``); populated when observability metrics are attached.
+    op_latency: Optional[HistogramSummary] = None
+    #: In-flight migration cycles histogram; same condition.
+    migration_latency: Optional[HistogramSummary] = None
+    #: Full metrics-registry snapshot (empty without observability).
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def kops_per_sec(self) -> float:
@@ -68,12 +80,42 @@ class Simulator:
     """Event-driven executor for one machine + scheduler + thread set."""
 
     def __init__(self, machine: Machine, scheduler: SchedulerRuntime,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.machine = machine
         self.memory = machine.memory
         self.scheduler = scheduler
-        scheduler.bind(machine)
+        self.obs = obs
         self.tracer = tracer
+        if tracer is not None:
+            # Legacy tracers ride the bus: a bridge converts typed
+            # lifecycle events back into flat TraceEvents.
+            if self.obs is None:
+                self.obs = Observability(events=False, metrics=False,
+                                         flight=0)
+            subscribe_tracer(self.obs.bus, tracer)
+        # Publishers hold these locals; None means "construct nothing".
+        self._bus = self.obs.bus if self.obs is not None else None
+        self._h_oplat = self._h_miglat = None
+        self._c_ops = self._c_migrations = self._c_lock_spins = None
+        scheduler.obs = self.obs
+        scheduler.bind(machine)
+        if self.obs is not None:
+            self.obs.begin_run(scheduler.name)
+            machine.memory.attach_observability(self.obs)
+            metrics = self.obs.metrics
+            if metrics is not None:
+                self._h_oplat = metrics.histogram(
+                    "sim.op_latency_cycles", OP_LATENCY_BUCKETS)
+                self._h_miglat = metrics.histogram(
+                    "sim.migration_cycles", MIGRATION_BUCKETS)
+                self._c_ops = metrics.counter("sim.ops")
+                self._c_migrations = metrics.counter("sim.migrations")
+                self._c_lock_spins = metrics.counter("sim.lock_spins")
+                depth_hist = metrics.histogram(
+                    "sim.runqueue_depth", QUEUE_DEPTH_BUCKETS)
+                for core in machine.cores:
+                    core.runqueue.depth_hist = depth_hist
         self.threads: List[SimThread] = []
         self._heap: List[tuple] = []
         self._seq = 0
@@ -114,7 +156,10 @@ class Simulator:
         self.threads.append(thread)
         self._enqueue_thread(thread, core_id,
                              self.machine.cores[core_id].time)
-        self._trace(thread.created_at, "spawn", thread, core_id)
+        bus = self._bus
+        if bus is not None and bus.wants(ThreadSpawned):
+            bus.publish(ThreadSpawned(thread.created_at, core_id,
+                                      thread.name))
         return thread
 
     def spawn_per_core(self, make_program, name_prefix: str = "thread"):
@@ -142,9 +187,23 @@ class Simulator:
         ``max_ops``   — stop once this many operations completed in this
                         call;
         ``max_steps`` — hard step bound (guards runaway programs in tests).
+
+        A run that dies with a :class:`~repro.errors.SimulationError`
+        (including :class:`~repro.errors.DeadlockError`) dumps the
+        observability flight recorder first, so failed runs leave a
+        post-mortem trail.
         """
         if until is None and max_ops is None and max_steps is None:
             raise SimulationError("run() needs a stopping condition")
+        try:
+            return self._run(until, max_ops, max_steps)
+        except SimulationError as exc:
+            if self.obs is not None:
+                self.obs.on_crash(exc)
+            raise
+
+    def _run(self, until: Optional[int], max_ops: Optional[int],
+             max_steps: Optional[int]) -> RunResult:
         heap = self._heap
         ops_target = (self.total_ops + max_ops) if max_ops else None
         steps_left = max_steps if max_steps is not None else -1
@@ -175,7 +234,9 @@ class Simulator:
                 core.counters.migrations_in += 1
                 thread.state = ThreadState.READY
                 self._enqueue_thread(thread, core_id, time)
-                self._trace(time, "arrive", thread, core_id)
+                bus = self._bus
+                if bus is not None and bus.wants(ThreadArrived):
+                    bus.publish(ThreadArrived(time, core_id, thread.name))
             steps_left -= 1
         else:
             if any(not t.done for t in self.threads):
@@ -188,7 +249,16 @@ class Simulator:
 
     def _result(self, horizon: int) -> RunResult:
         memory = self.memory
+        op_latency = migration_latency = None
+        metrics_snapshot: Dict[str, Any] = {}
+        if self._h_oplat is not None:
+            op_latency = self._h_oplat.summary()
+            migration_latency = self._h_miglat.summary()
+            metrics_snapshot = self.obs.metrics_snapshot()
         return RunResult(
+            op_latency=op_latency,
+            migration_latency=migration_latency,
+            metrics=metrics_snapshot,
             scheduler=self.scheduler.name,
             horizon_cycles=horizon,
             ops=self.total_ops,
@@ -281,7 +351,10 @@ class Simulator:
         thread.finished_at = core.time
         core.current = None
         self.scheduler.on_thread_done(thread, core, core.time)
-        self._trace(core.time, "done", thread, core.core_id)
+        bus = self._bus
+        if bus is not None and bus.wants(ThreadFinished):
+            bus.publish(ThreadFinished(core.time, core.core_id,
+                                       thread.name))
 
     def _execute(self, core: Core, thread: SimThread, item: Any) -> None:
         itype = type(item)
@@ -320,12 +393,23 @@ class Simulator:
             if lock.try_acquire(thread):
                 latency = memory.store(core.core_id, lock.addr, core.time)
                 counters.lock_acquires += 1
+                thread.spinning = False
                 thread.pending = None
             else:
                 latency = (memory.load(core.core_id, lock.addr, core.time)
                            + self._spec.spin_backoff)
                 counters.lock_spins += 1
                 thread.spin_cycles += latency
+                if self._c_lock_spins is not None:
+                    self._c_lock_spins.inc()
+                if not thread.spinning:
+                    # One event per contended acquire, not per retry —
+                    # retries are counted by the lock_spins metric.
+                    thread.spinning = True
+                    bus = self._bus
+                    if bus is not None and bus.wants(LockContended):
+                        bus.publish(LockContended(core.time, core.core_id,
+                                                  thread.name, lock.name))
                 # pending stays set: the acquire retries next step.
             counters.busy_cycles += latency
             core.time += latency
@@ -343,6 +427,8 @@ class Simulator:
             counters.ops_completed += 1
             thread.ops_completed += 1
             self.total_ops += 1
+            if self._c_ops is not None:
+                self._c_ops.inc()
             thread.pending = None
         else:
             raise SimulationError(
@@ -353,6 +439,11 @@ class Simulator:
         target = self.scheduler.on_ct_start(thread, obj, core, core.time)
         thread.begin_operation(obj, snapshot, core.time)
         thread.pending = None
+        bus = self._bus
+        if bus is not None and bus.wants(OperationStarted):
+            bus.publish(OperationStarted(
+                core.time, core.core_id, thread.name,
+                getattr(obj, "name", None) or repr(obj)))
         if target is not None and target != core.core_id:
             self._migrate(core, thread, target)
 
@@ -360,10 +451,20 @@ class Simulator:
         # The runtime sees the thread while ct_object / entry snapshot are
         # still set, so it can attribute misses to the object (§4).
         target = self.scheduler.on_ct_end(thread, core, core.time)
+        obj = thread.ct_object
+        cycles = core.time - thread.ct_started_at
         thread.end_operation()
         core.counters.ops_completed += 1
         self.total_ops += 1
         thread.pending = None
+        if self._h_oplat is not None:
+            self._h_oplat.observe(cycles)
+            self._c_ops.inc()
+        bus = self._bus
+        if bus is not None and bus.wants(OperationFinished):
+            bus.publish(OperationFinished(
+                core.time, core.core_id, thread.name,
+                getattr(obj, "name", None) or repr(obj), cycles))
         if target is not None and target != core.core_id:
             self._migrate(core, thread, target)
 
@@ -386,10 +487,10 @@ class Simulator:
         self.memory.interconnect.count_migration(
             core.chip_id, self._spec.chip_of(target))
         self._push(arrive, _KIND_ARRIVAL, (thread, target))
-        self._trace(core.time, "migrate", thread, core.core_id, target)
-
-    def _trace(self, time: int, kind: str, thread: SimThread, core: int,
-               detail: Any = None) -> None:
-        if self.tracer is not None:
-            self.tracer.emit(TraceEvent(time, kind, thread.name, core,
-                                        detail))
+        if self._c_migrations is not None:
+            self._c_migrations.inc()
+            self._h_miglat.observe(arrive - core.time)
+        bus = self._bus
+        if bus is not None and bus.wants(MigrationStarted):
+            bus.publish(MigrationStarted(core.time, core.core_id,
+                                         thread.name, target, arrive))

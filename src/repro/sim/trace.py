@@ -1,10 +1,18 @@
-"""Optional event tracing.
+"""Legacy event tracing (thin compatibility layer over ``repro.obs``).
 
-The engine reports interesting events (migrations, operations, thread
-lifecycle) to a :class:`Tracer` when one is attached.  The default engine
-runs without a tracer and pays nothing; tests and examples attach
-:class:`RecordingTracer` to assert on behaviour, and
-:class:`PrintTracer` gives a human-readable narration for debugging.
+The first-class telemetry spine is :mod:`repro.obs`: a typed event bus,
+metrics registry, exporters and a flight recorder.  This module keeps the
+original small :class:`Tracer` API working — tests, notebooks and older
+examples attach :class:`RecordingTracer` / :class:`PrintTracer` via
+``Simulator(..., tracer=...)`` and still receive the familiar flat
+:class:`TraceEvent` records.
+
+Internally the engine no longer emits these directly; a
+:func:`subscribe_tracer` bridge converts the bus's typed lifecycle events
+(:class:`~repro.obs.events.ThreadSpawned`, ``ThreadFinished``,
+``ThreadArrived``, ``MigrationStarted``) into ``TraceEvent`` on delivery.
+When neither a tracer nor a bus is attached, no event object of either
+kind is ever constructed.
 """
 
 from __future__ import annotations
@@ -13,10 +21,14 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, List, TextIO
 
+from repro.obs.bus import EventBus
+from repro.obs.events import (Event, MigrationStarted, ThreadArrived,
+                              ThreadFinished, ThreadSpawned)
+
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One traced simulator event."""
+    """One traced simulator event (legacy flat form)."""
 
     time: int
     kind: str
@@ -64,3 +76,33 @@ class PrintTracer(Tracer):
         self.out.write(
             f"[{event.time:>12}] core{event.core:<3} {event.kind:<12} "
             f"{event.thread}{detail}\n")
+
+
+#: Lifecycle events the legacy tracer format can express.
+_LIFECYCLE = (ThreadSpawned, ThreadFinished, ThreadArrived,
+              MigrationStarted)
+
+
+class _TracerBridge:
+    """Bus handler translating typed events into legacy TraceEvents."""
+
+    __slots__ = ("tracer",)
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+    def __call__(self, event: Event) -> None:
+        detail = (event.target if type(event) is MigrationStarted
+                  else None)
+        self.tracer.emit(TraceEvent(event.ts, event.kind, event.thread,
+                                    event.core, detail))
+
+
+def subscribe_tracer(bus: EventBus, tracer: Tracer) -> _TracerBridge:
+    """Bridge ``bus`` lifecycle events into a legacy ``Tracer``.
+
+    Returns the handler token (pass to ``bus.unsubscribe`` to detach).
+    """
+    handler = _TracerBridge(tracer)
+    bus.subscribe(handler, *_LIFECYCLE)
+    return handler

@@ -11,13 +11,16 @@ from repro.threads.thread import SimThread, ThreadState
 class RunQueue:
     """FIFO queue of READY threads belonging to one core."""
 
-    __slots__ = ("core_id", "_queue", "enqueues", "max_depth")
+    __slots__ = ("core_id", "_queue", "enqueues", "max_depth", "depth_hist")
 
     def __init__(self, core_id: int) -> None:
         self.core_id = core_id
         self._queue: Deque[SimThread] = deque()
         self.enqueues = 0
         self.max_depth = 0
+        #: Optional observability histogram ("sim.runqueue_depth"), set by
+        #: the simulator when a metrics registry is attached.
+        self.depth_hist = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -33,8 +36,11 @@ class RunQueue:
         thread.core = self.core_id
         self._queue.append(thread)
         self.enqueues += 1
-        if len(self._queue) > self.max_depth:
-            self.max_depth = len(self._queue)
+        depth = len(self._queue)
+        if depth > self.max_depth:
+            self.max_depth = depth
+        if self.depth_hist is not None:
+            self.depth_hist.observe(depth)
 
     def push_front(self, thread: SimThread) -> None:
         """Requeue at the head (used when a core is preempted mid-pick)."""

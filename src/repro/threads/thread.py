@@ -36,7 +36,8 @@ class SimThread:
         "home_core", "core",
         "pending",
         "ct_object", "ct_entry_snapshot", "ct_started_at",
-        "ops_completed", "migrations", "spin_cycles", "wait_cycles",
+        "ops_completed", "migrations", "spin_cycles", "spinning",
+        "wait_cycles",
         "created_at", "finished_at",
         "user",
     )
@@ -61,6 +62,9 @@ class SimThread:
         self.migrations = 0
         #: Cycles burned spinning on locks.
         self.spin_cycles = 0
+        #: True while retrying a contended acquire (the first failed
+        #: test-and-set of each acquire emits one LockContended event).
+        self.spinning = False
         #: Cycles spent in flight or waiting in run queues.
         self.wait_cycles = 0
         self.created_at = 0
