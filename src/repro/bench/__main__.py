@@ -6,9 +6,11 @@ uses the long profile for the two paper figures.
 
 Observability: ``--trace-out run.trace.json`` captures every simulator in
 the experiment into one Chrome trace (load it at https://ui.perfetto.dev),
-``--metrics-out metrics.json`` dumps the metrics-registry snapshot, and
-``--seed N`` overrides the workload RNG seed where the experiment supports
-it.
+``--events-out run.events.jsonl`` dumps the raw event stream for
+``repro-analyze``, ``--metrics-out metrics.json`` dumps the
+metrics-registry snapshot, ``--profile-out NAME`` writes the offline
+attribution report next to the figure reports, and ``--seed N`` overrides
+the workload RNG seed where the experiment supports it.
 """
 
 from __future__ import annotations
@@ -70,9 +72,16 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome/Perfetto trace of every "
                              "simulator run to PATH")
+    parser.add_argument("--events-out", metavar="PATH", default=None,
+                        help="write the raw event stream (JSONL, for "
+                             "repro-analyze) to PATH")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write the metrics-registry snapshot (JSON) "
                              "to PATH")
+    parser.add_argument("--profile-out", metavar="NAME", default=None,
+                        help="write the offline attribution report "
+                             "(repro-analyze report) under "
+                             "benchmarks/results/NAME.txt")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the report file paths")
     args = parser.parse_args(argv)
@@ -86,7 +95,10 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     many = len(names) > 1
-    want_obs = args.trace_out is not None or args.metrics_out is not None
+    want_events = (args.trace_out is not None
+                   or args.events_out is not None
+                   or args.profile_out is not None)
+    want_obs = want_events or args.metrics_out is not None
     for name in names:
         runner = EXPERIMENTS[name]
         supported = inspect.signature(runner).parameters
@@ -100,11 +112,11 @@ def main(argv=None) -> int:
                 print(f"[{name}] note: --seed not supported, ignored")
         obs = None
         if want_obs and "obs" in supported:
-            obs = Observability(events=args.trace_out is not None)
+            obs = Observability(events=want_events)
             kwargs["obs"] = obs
         elif want_obs:
-            print(f"[{name}] note: --trace-out/--metrics-out not "
-                  "supported, ignored")
+            print(f"[{name}] note: --trace-out/--events-out/"
+                  "--metrics-out/--profile-out not supported, ignored")
         started = time.perf_counter()
         result = runner(**kwargs)
         elapsed = time.perf_counter() - started
@@ -118,6 +130,15 @@ def main(argv=None) -> int:
                 out = _derived_path(args.trace_out, name, many)
                 obs.write_chrome_trace(out)
                 print(f"[{name}] trace -> {out}")
+            if args.events_out is not None:
+                out = _derived_path(args.events_out, name, many)
+                obs.write_jsonl(out)
+                print(f"[{name}] events -> {out}")
+            if args.profile_out is not None:
+                profile_name = (f"{args.profile_out}.{name}" if many
+                                else args.profile_out)
+                out = save_report(profile_name, obs.profile_report())
+                print(f"[{name}] profile -> {out}")
             if args.metrics_out is not None:
                 out = _derived_path(args.metrics_out, name, many)
                 with open(out, "w", encoding="utf-8") as stream:

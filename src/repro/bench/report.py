@@ -3,15 +3,30 @@
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.bench.ascii_plot import plot
 from repro.bench.harness import Series
 
+
+def _results_dir() -> Path:
+    """Locate ``benchmarks/results/`` for report output.
+
+    Walk up from this module looking for the repo root (the directory
+    holding ``pyproject.toml``); from a checkout that puts reports in
+    the tracked ``benchmarks/results/`` tree.  When the package runs
+    from an installed wheel or zipapp there is no repo root above it,
+    so fall back to ``benchmarks/results`` under the current directory.
+    """
+    for parent in Path(__file__).resolve().parents:
+        if (parent / "pyproject.toml").is_file():
+            return parent / "benchmarks" / "results"
+    return Path.cwd() / "benchmarks" / "results"
+
+
 #: Directory where benchmark runs drop their text reports.
-RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
-    "benchmarks", "results")
+RESULTS_DIR = str(_results_dir())
 
 
 def table(series_list: Sequence[Series], x_header: str = "x") -> str:

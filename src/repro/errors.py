@@ -49,6 +49,15 @@ class PackingError(ReproError):
     """The cache-packing algorithm was given unsatisfiable input."""
 
 
+class ProfileError(ReproError):
+    """An offline-analysis input is malformed.
+
+    Raised by :mod:`repro.obs.profile` for unparsable JSONL, unknown
+    event kinds, field mismatches, or a stream whose schema version is
+    newer than the analyzer understands.
+    """
+
+
 class FilesystemError(ReproError):
     """An error in the simulated FAT file-system image."""
 

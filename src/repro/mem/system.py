@@ -80,6 +80,11 @@ class MemorySystem:
         # Observability: None until attach_observability(); publish sites
         # gate on it so the un-observed hot path allocates nothing.
         self._bus = None
+        # Per-core operation context: the name of the annotated object the
+        # core is currently operating on, maintained by the engine only
+        # when memory-event capture is on (None otherwise), so miss-level
+        # events can be attributed to the object being manipulated.
+        self.op_obj: Optional[List[Optional[str]]] = None
 
     # ------------------------------------------------------------------
     # observability
@@ -94,7 +99,11 @@ class MemorySystem:
         """
         if obs is None:
             return
-        self._bus = obs.bus if obs.capture_memory else None
+        if obs.capture_memory:
+            self._bus = obs.bus
+            self.op_obj = [None] * self.spec.n_cores
+        else:
+            self._bus = None
         registry = obs.metrics
         if registry is None:
             return
@@ -146,7 +155,8 @@ class MemorySystem:
             latency += worst
             bus = self._bus
             if bus is not None and bus.wants(CacheInvalidated):
-                bus.publish(CacheInvalidated(now, core_id, line, len(others)))
+                bus.publish(CacheInvalidated(now, core_id, line, len(others),
+                                             self.op_obj[core_id]))
         counters.mem_cycles += latency
         return latency
 
@@ -281,7 +291,8 @@ class MemorySystem:
             directory.discard(victim3, l3_holder)
             bus = self._bus
             if bus is not None and bus.wants(CacheEvicted):
-                bus.publish(CacheEvicted(now, core_id, "L3", victim3))
+                bus.publish(CacheEvicted(now, core_id, "L3", victim3,
+                                         self.op_obj[core_id]))
 
     def _drop_from_holder(self, line: int, holder: int) -> None:
         """Remove ``line`` from ``holder``'s caches and the directory."""

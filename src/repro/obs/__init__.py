@@ -44,8 +44,9 @@ from repro.obs.events import (ALL_EVENTS, CONTROL_EVENTS, EVENT_KINDS,
                               OperationStarted, RebalanceRound, RunMarker,
                               SchedDecision, ThreadArrived, ThreadFinished,
                               ThreadSpawned)
-from repro.obs.export import (ascii_timeline, chrome_trace, events_to_jsonl,
-                              write_chrome_trace, write_jsonl)
+from repro.obs.export import (SCHEMA_VERSION, ascii_timeline, chrome_trace,
+                              events_to_jsonl, write_chrome_trace,
+                              write_jsonl)
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (MIGRATION_BUCKETS, OP_LATENCY_BUCKETS,
                                QUEUE_DEPTH_BUCKETS, Counter, Gauge,
@@ -149,6 +150,16 @@ class Observability:
     def metrics_snapshot(self) -> Dict[str, Any]:
         return self.metrics.snapshot() if self.metrics is not None else {}
 
+    def profile_report(self, top: int = 10, width: int = 72) -> str:
+        """Offline attribution report over the recorded events.
+
+        Same output as ``repro-analyze report`` on a JSONL dump of this
+        pipeline; one section per recorded run.  Imports the analyzer
+        lazily — the profiling layer stays off the simulation path.
+        """
+        from repro.obs.profile import render_stream_report
+        return render_stream_report(self.events(), top=top, width=width)
+
     # ------------------------------------------------------------------
     # post-mortem
     # ------------------------------------------------------------------
@@ -172,6 +183,7 @@ class Observability:
 
 __all__ = [
     "ALL_EVENTS",
+    "SCHEMA_VERSION",
     "CONTROL_EVENTS",
     "EVENT_KINDS",
     "MEMORY_EVENTS",

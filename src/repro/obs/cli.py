@@ -1,0 +1,205 @@
+"""``repro-analyze``: offline analysis CLI over recorded event streams.
+
+Record a run first (any experiment accepts the flags)::
+
+    python -m repro.bench fig2 --events-out fig2.events.jsonl \
+        --metrics-out fig2.metrics.json
+
+then explain it::
+
+    repro-analyze report fig2.events.jsonl        # attribution & co
+    repro-analyze folded fig2.events.jsonl -o fig2.folded
+    repro-analyze timeline fig2.events.jsonl
+    repro-analyze diff base.events.jsonl cand.events.jsonl
+
+``report`` prints per-object attribution, per-core time breakdowns, the
+migration matrix, the lock-contention table and cache-occupancy
+timelines; ``diff`` reports per-metric deltas with confidence intervals
+so scheduler A/Bs and bench-regression gates are one command.  Also
+runnable as ``python -m repro.obs.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ProfileError
+from repro.obs.export import ascii_timeline
+from repro.obs.profile import (Run, diff_metrics, diff_streams,
+                               folded_stacks, load_jsonl, render_diff,
+                               render_report, split_runs)
+
+
+def _load_runs(path: str, run_filter: Optional[str]) -> List[Run]:
+    """Parse ``path`` and return its runs, optionally filtered.
+
+    ``run_filter`` selects by label, or by index when it is an integer.
+    """
+    runs = split_runs(load_jsonl(path).events)
+    if not runs:
+        raise ProfileError(f"{path}: stream contains no events")
+    if run_filter is None:
+        return runs
+    try:
+        index = int(run_filter)
+    except ValueError:
+        selected = [run for run in runs if run.label == run_filter]
+        if not selected:
+            raise ProfileError(
+                f"{path}: no run labelled {run_filter!r}; "
+                f"stream has {[run.label for run in runs]}")
+        return selected
+    if not 0 <= index < len(runs):
+        raise ProfileError(
+            f"{path}: run index {index} out of range (stream has "
+            f"{len(runs)} runs)")
+    return [runs[index]]
+
+
+def _merged_events(runs: List[Run]) -> List:
+    events: List = []
+    for run in runs:
+        events.extend(run.events)
+    return events
+
+
+def _write_or_print(text: str, out: Optional[str]) -> None:
+    if out is None:
+        print(text)
+    else:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {out}")
+
+
+def _cmd_report(args) -> int:
+    runs = _load_runs(args.events, args.run)
+    parts = [render_report(run, top=args.top, width=args.width)
+             for run in runs]
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        rows = [f"  {name:<44} {value}"
+                for name, value in sorted(snapshot.items())
+                if isinstance(value, (int, float))]
+        if rows:
+            parts.append("Metrics snapshot (scalars)\n" + "\n".join(rows))
+    _write_or_print("\n\n".join(parts), args.out)
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    base = _merged_events(_load_runs(args.baseline, args.run))
+    cand = _merged_events(_load_runs(args.candidate, args.run))
+    deltas = diff_streams(base, cand)
+    parts = [f"baseline:  {args.baseline}",
+             f"candidate: {args.candidate}",
+             "",
+             render_diff(deltas)]
+    if args.metrics_baseline and args.metrics_candidate:
+        with open(args.metrics_baseline, "r", encoding="utf-8") as handle:
+            mbase = json.load(handle)
+        with open(args.metrics_candidate, "r", encoding="utf-8") as handle:
+            mcand = json.load(handle)
+        parts.extend(["", "Metrics snapshots:",
+                      render_diff(diff_metrics(mbase, mcand))])
+    _write_or_print("\n".join(parts), args.out)
+    return 0
+
+
+def _cmd_folded(args) -> int:
+    lines: List[str] = []
+    for run in _load_runs(args.events, args.run):
+        lines.extend(folded_stacks(run.events, label=run.label))
+    if not lines:
+        print("(no attributable cycles in stream)", file=sys.stderr)
+        return 1
+    _write_or_print("\n".join(lines), args.out)
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    for run in _load_runs(args.events, args.run):
+        print(f"=== run: {run.label} ===")
+        print(ascii_timeline(run.events, width=args.width))
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Offline performance attribution over JSONL event "
+                    "streams recorded by repro.obs.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="per-object attribution, per-core breakdown, "
+                       "migration matrix, lock table, occupancy timeline")
+    report.add_argument("events", help="events JSONL path")
+    report.add_argument("--metrics", metavar="PATH", default=None,
+                        help="metrics snapshot JSON to append (scalars)")
+    report.add_argument("--top", type=int, default=10,
+                        help="rows in top-N tables (default 10)")
+    report.add_argument("--width", type=int, default=72,
+                        help="timeline width in columns (default 72)")
+    report.add_argument("--run", default=None,
+                        help="restrict to one run (label or index)")
+    report.add_argument("-o", "--out", default=None,
+                        help="write the report to a file instead of stdout")
+    report.set_defaults(func=_cmd_report)
+
+    diff = sub.add_parser(
+        "diff", help="per-metric deltas between two recordings, with "
+                     "confidence intervals")
+    diff.add_argument("baseline", help="baseline events JSONL")
+    diff.add_argument("candidate", help="candidate events JSONL")
+    diff.add_argument("--metrics-baseline", metavar="PATH", default=None,
+                      help="baseline metrics snapshot JSON")
+    diff.add_argument("--metrics-candidate", metavar="PATH", default=None,
+                      help="candidate metrics snapshot JSON")
+    diff.add_argument("--run", default=None,
+                      help="compare only this run from each stream "
+                           "(label or index)")
+    diff.add_argument("-o", "--out", default=None,
+                      help="write the diff to a file instead of stdout")
+    diff.set_defaults(func=_cmd_diff)
+
+    folded = sub.add_parser(
+        "folded", help="folded-stack output (workload;object;phase "
+                       "cycles) for speedscope / flamegraph.pl")
+    folded.add_argument("events", help="events JSONL path")
+    folded.add_argument("--run", default=None,
+                        help="restrict to one run (label or index)")
+    folded.add_argument("-o", "--out", default=None,
+                        help="write folded stacks to a file")
+    folded.set_defaults(func=_cmd_folded)
+
+    timeline = sub.add_parser(
+        "timeline", help="per-core ops/bucket ASCII timeline")
+    timeline.add_argument("events", help="events JSONL path")
+    timeline.add_argument("--width", type=int, default=72)
+    timeline.add_argument("--run", default=None,
+                          help="restrict to one run (label or index)")
+    timeline.set_defaults(func=_cmd_timeline)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ProfileError as exc:
+        print(f"repro-analyze: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"repro-analyze: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into head & co; exiting quietly is the contract.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

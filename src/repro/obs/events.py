@@ -160,18 +160,35 @@ class OperationStarted(CoreEvent):
 
 
 class OperationFinished(CoreEvent):
-    """An annotated operation completed on ``core`` after ``cycles``."""
+    """An annotated operation completed on ``core`` after ``cycles``.
 
-    __slots__ = ("thread", "obj", "cycles")
+    The four attribution fields carry the per-operation counter deltas
+    the offline analyzer (:mod:`repro.obs.profile`) breaks costs down
+    with: DRAM line fetches, remote-cache hits, memory-stall cycles and
+    lock-spin cycles measured between ``ct_start`` and ``ct_end``.  They
+    are None when the operation migrated mid-flight (the entry snapshot
+    belongs to a different core, so the delta would be garbage) — the
+    analyzer counts such operations separately.
+    """
+
+    __slots__ = ("thread", "obj", "cycles", "dram", "remote", "mem_stall",
+                 "spin")
     kind = "op_end"
 
     def __init__(self, ts: int, core: int, thread: str, obj: str,
-                 cycles: int) -> None:
+                 cycles: int, dram: Optional[int] = None,
+                 remote: Optional[int] = None,
+                 mem_stall: Optional[int] = None,
+                 spin: Optional[int] = None) -> None:
         self.ts = ts
         self.core = core
         self.thread = thread
         self.obj = obj
         self.cycles = cycles
+        self.dram = dram
+        self.remote = remote
+        self.mem_stall = mem_stall
+        self.spin = spin
 
 
 class ObjectAssigned(CoreEvent):
@@ -213,30 +230,44 @@ class RebalanceRound(Event):
 
 
 class CacheEvicted(CoreEvent):
-    """A line left the on-chip hierarchy (dropped from ``level``)."""
+    """A line left the on-chip hierarchy (dropped from ``level``).
 
-    __slots__ = ("level", "line")
+    ``obj`` names the object of the annotated operation running on the
+    evicting core at that moment (None outside an operation), so the
+    analyzer can attribute capacity pressure to the object being
+    manipulated — the paper's §4 miss-attribution story, offline.
+    """
+
+    __slots__ = ("level", "line", "obj")
     kind = "evict"
 
-    def __init__(self, ts: int, core: int, level: str, line: int) -> None:
+    def __init__(self, ts: int, core: int, level: str, line: int,
+                 obj: Optional[str] = None) -> None:
         self.ts = ts
         self.core = core
         self.level = level
         self.line = line
+        self.obj = obj
 
 
 class CacheInvalidated(CoreEvent):
     """A store on ``core`` invalidated ``copies`` remote copies of
-    ``line``."""
+    ``line``.
 
-    __slots__ = ("line", "copies")
+    ``obj`` names the object of the operation issuing the store (None
+    outside an annotated operation); see :class:`CacheEvicted`.
+    """
+
+    __slots__ = ("line", "copies", "obj")
     kind = "invalidate"
 
-    def __init__(self, ts: int, core: int, line: int, copies: int) -> None:
+    def __init__(self, ts: int, core: int, line: int, copies: int,
+                 obj: Optional[str] = None) -> None:
         self.ts = ts
         self.core = core
         self.line = line
         self.copies = copies
+        self.obj = obj
 
 
 class LockContended(CoreEvent):

@@ -31,6 +31,12 @@ from repro.obs.events import (CacheEvicted, CacheInvalidated, Event,
 #: ``tid`` of the per-process scheduler track (cores use their own ids).
 SCHEDULER_TRACK = 10_000
 
+#: Version of the JSONL event-stream schema.  Bump when an event gains,
+#: loses or renames a field; the offline analyzer
+#: (:mod:`repro.obs.profile`) refuses streams newer than it understands.
+#: Version 1 streams (PR 1) had no meta line and no attribution fields.
+SCHEMA_VERSION = 2
+
 
 def chrome_trace(events: Sequence[Event],
                  default_label: str = "run") -> Dict[str, Any]:
@@ -142,18 +148,33 @@ def write_chrome_trace(path: str, events: Sequence[Event],
 # JSONL
 # ---------------------------------------------------------------------------
 
+def jsonl_meta_line() -> str:
+    """The header record every JSONL dump starts with.
+
+    Deterministic on purpose (no timestamps, no hostnames): two runs with
+    the same seed must produce byte-identical streams.
+    """
+    return json.dumps({"kind": "meta", "schema_version": SCHEMA_VERSION,
+                       "source": "repro.obs"},
+                      separators=(",", ":"), sort_keys=True)
+
+
 def events_to_jsonl(events: Iterable[Event]) -> str:
-    """One compact JSON object per line, in stream order."""
-    return "\n".join(
+    """One compact JSON object per line, in stream order.
+
+    The first line is a ``meta`` record carrying :data:`SCHEMA_VERSION`;
+    every following line is one event's :meth:`~Event.as_dict` form.
+    """
+    lines = [jsonl_meta_line()]
+    lines.extend(
         json.dumps(event.as_dict(), separators=(",", ":"), sort_keys=True)
         for event in events)
+    return "\n".join(lines)
 
 
 def write_jsonl(path: str, events: Iterable[Event]) -> str:
     with open(path, "w", encoding="utf-8") as handle:
-        text = events_to_jsonl(events)
-        if text:
-            handle.write(text + "\n")
+        handle.write(events_to_jsonl(events) + "\n")
     return path
 
 

@@ -1,0 +1,802 @@
+"""Offline performance attribution over recorded event streams.
+
+The paper's §4 story is that event counters *explain* performance:
+misses are attributed to the object being manipulated, and per-core
+counters reveal overloaded cores and overpacked caches.  The online
+:class:`~repro.core.monitor.Monitor` consumes those signals live; this
+module reproduces the same explanations *offline*, from the JSONL event
+streams and metrics snapshots :mod:`repro.obs` already exports — so a
+recorded run can be profiled, compared and regression-gated long after
+the simulator is gone.
+
+Pipeline::
+
+    recording = load_jsonl("fig2.events.jsonl")   # typed events again
+    for run in split_runs(recording.events):      # one per simulator
+        print(render_report(run))                 # attribution & co
+    print(render_diff(diff_streams(base.events, cand.events)))
+
+Everything here is strictly off the hot path: the simulator never
+imports this module, so profiling adds zero overhead to a run that does
+not ask for it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (Any, Dict, Iterable, List, Optional, Sequence, Tuple,
+                    Type)
+
+from repro.analysis import SampleStats, summarise
+from repro.errors import ProfileError
+from repro.obs.events import (EVENT_KINDS, CacheEvicted, CacheInvalidated,
+                              Event, LockContended, MigrationStarted,
+                              ObjectAssigned, ObjectMoved,
+                              OperationFinished, OperationStarted,
+                              RunMarker)
+from repro.obs.export import SCHEMA_VERSION
+
+__all__ = [
+    "Recording", "Run", "ObjectCost", "CoreBreakdown", "LockStat",
+    "StreamSummary", "MetricDelta", "load_jsonl", "parse_jsonl",
+    "split_runs", "object_costs", "core_breakdown", "migration_matrix",
+    "lock_table", "occupancy_timeline", "folded_stacks",
+    "summarise_stream", "diff_streams", "render_report", "render_diff",
+    "render_migration_matrix", "render_lock_table", "diff_metrics",
+]
+
+
+# ---------------------------------------------------------------------------
+# ingest: JSONL -> typed events
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Recording:
+    """One parsed JSONL stream."""
+
+    schema_version: int
+    events: List[Event]
+
+    @property
+    def horizon(self) -> int:
+        return stream_horizon(self.events)
+
+
+def _fields_of(cls: Type[Event]) -> Tuple[str, ...]:
+    """Slot names of an event class, base-first (mirrors Event._fields)."""
+    names: List[str] = []
+    for klass in reversed(cls.__mro__):
+        names.extend(getattr(klass, "__slots__", ()))
+    return tuple(names)
+
+
+def parse_jsonl(lines: Iterable[str]) -> Recording:
+    """Reconstruct typed events from JSONL text lines.
+
+    Validates the ``meta`` header's ``schema_version`` (streams newer
+    than :data:`~repro.obs.export.SCHEMA_VERSION` are refused) and that
+    every event line carries exactly the fields its kind declares.
+    Streams without a header — PR 1's exporter predates it — are read as
+    schema version 1, where the attribution fields introduced in
+    version 2 are absent and default to None.
+    """
+    schema = 1          # headerless = legacy
+    saw_meta = False
+    events: List[Event] = []
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError as exc:
+            raise ProfileError(f"line {lineno}: not valid JSON: {exc}")
+        if not isinstance(data, dict) or "kind" not in data:
+            raise ProfileError(
+                f"line {lineno}: expected an object with a 'kind' field")
+        kind = data["kind"]
+        if kind == "meta":
+            version = data.get("schema_version")
+            if not isinstance(version, int) or version < 1:
+                raise ProfileError(
+                    f"line {lineno}: bad schema_version {version!r}")
+            if version > SCHEMA_VERSION:
+                raise ProfileError(
+                    f"line {lineno}: stream schema version {version} is "
+                    f"newer than this analyzer ({SCHEMA_VERSION}); "
+                    "upgrade repro")
+            schema = version
+            saw_meta = True
+            continue
+        cls = EVENT_KINDS.get(kind)
+        if cls is None:
+            raise ProfileError(f"line {lineno}: unknown event kind {kind!r}")
+        fields = _fields_of(cls)
+        given = set(data) - {"kind"}
+        missing = set(fields) - given
+        extra = given - set(fields)
+        if extra:
+            raise ProfileError(
+                f"line {lineno}: {kind} carries unknown fields "
+                f"{sorted(extra)}")
+        if missing and (schema >= SCHEMA_VERSION or saw_meta):
+            raise ProfileError(
+                f"line {lineno}: {kind} is missing fields "
+                f"{sorted(missing)}")
+        event = object.__new__(cls)
+        for name in fields:
+            setattr(event, name, data.get(name))
+        events.append(event)
+    return Recording(schema_version=schema, events=events)
+
+
+def load_jsonl(path: str) -> Recording:
+    """Parse a JSONL file written by ``Observability.write_jsonl``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_jsonl(handle)
+
+
+@dataclass
+class Run:
+    """One simulator run's slice of an event stream."""
+
+    label: str
+    events: List[Event]
+
+
+def split_runs(events: Sequence[Event]) -> List[Run]:
+    """Split a stream on :class:`RunMarker` into per-simulator runs.
+
+    Events before the first marker (streams recorded without one) become
+    a run labelled ``"run"``.  Labels repeat as recorded; callers that
+    need unique names should add the index themselves.
+    """
+    runs: List[Run] = []
+    current: Optional[Run] = None
+    for event in events:
+        if type(event) is RunMarker:
+            current = Run(event.label, [])
+            runs.append(current)
+            continue
+        if current is None:
+            current = Run("run", [])
+            runs.append(current)
+        current.events.append(event)
+    return runs
+
+
+def stream_horizon(events: Sequence[Event]) -> int:
+    """Last cycle touched by any event (migrations count their landing)."""
+    horizon = 0
+    for event in events:
+        ts = event.ts
+        if type(event) is MigrationStarted and event.arrive_ts > ts:
+            ts = event.arrive_ts
+        if ts > horizon:
+            horizon = ts
+    return horizon
+
+
+# ---------------------------------------------------------------------------
+# per-object attribution
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ObjectCost:
+    """Everything one object cost the machine, mirroring §4's monitor."""
+
+    name: str
+    ops: int = 0
+    cycles: int = 0
+    #: Operations with valid counter deltas (ran on one core end to end).
+    attributed_ops: int = 0
+    dram_loads: int = 0
+    remote_hits: int = 0
+    mem_stall_cycles: int = 0
+    spin_cycles: int = 0
+    #: Migrations triggered while operating on this object, and the
+    #: cycles threads spent in flight for them.
+    migrations: int = 0
+    migration_cycles: int = 0
+    #: Memory-event attribution (``capture_memory`` streams only).
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        """Execution plus in-flight migration cycles — the ranking key."""
+        return self.cycles + self.migration_cycles
+
+    @property
+    def cycles_per_op(self) -> float:
+        return self.cycles / self.ops if self.ops else 0.0
+
+    def per_attributed_op(self, value: int) -> float:
+        return value / self.attributed_ops if self.attributed_ops else 0.0
+
+
+def object_costs(events: Sequence[Event]) -> List[ObjectCost]:
+    """Attribute cycles, misses and migrations to objects.
+
+    Returned most-expensive first (by :attr:`ObjectCost.total_cycles`).
+    Migrations are charged to the object of the operation in progress on
+    the migrating thread; a migration outside any operation is nobody's
+    fault and lands on the pseudo-object ``(no operation)``.
+    """
+    costs: Dict[str, ObjectCost] = {}
+
+    def cost(name: str) -> ObjectCost:
+        entry = costs.get(name)
+        if entry is None:
+            entry = costs[name] = ObjectCost(name)
+        return entry
+
+    in_op: Dict[str, str] = {}           # thread -> object name
+    for event in events:
+        etype = type(event)
+        if etype is OperationStarted:
+            in_op[event.thread] = event.obj
+        elif etype is OperationFinished:
+            entry = cost(event.obj)
+            entry.ops += 1
+            entry.cycles += event.cycles
+            if event.dram is not None:
+                entry.attributed_ops += 1
+                entry.dram_loads += event.dram
+                entry.remote_hits += event.remote
+                entry.mem_stall_cycles += event.mem_stall
+                entry.spin_cycles += event.spin
+            in_op.pop(event.thread, None)
+        elif etype is MigrationStarted:
+            entry = cost(in_op.get(event.thread, "(no operation)"))
+            entry.migrations += 1
+            entry.migration_cycles += event.arrive_ts - event.ts
+        elif etype is CacheEvicted:
+            if event.obj is not None:
+                cost(event.obj).evictions += 1
+        elif etype is CacheInvalidated:
+            if event.obj is not None:
+                cost(event.obj).invalidations += event.copies
+    return sorted(costs.values(),
+                  key=lambda c: (-c.total_cycles, c.name))
+
+
+# ---------------------------------------------------------------------------
+# per-core time breakdown
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CoreBreakdown:
+    """Where one core's cycles went over the recorded horizon.
+
+    Derived purely from events, so it is an *attribution* of the horizon,
+    not a cycle-exact ledger.  ``busy`` sums the cycles of operations
+    that ran wholly on this core (those carry valid counter deltas and
+    occupy the core continuously); ``mem_stall`` and ``spin`` are the
+    attributed slices of that busy time.  An operation that migrated
+    mid-flight spans several cores plus queue and flight time, so its
+    cycles cannot be placed on any single core — it is reported in
+    ``unplaced_ops``/``unplaced_cycles`` on the core it *finished* on
+    instead of inflating ``busy``.  ``migrating`` is in-flight time of
+    threads the core handed away.
+    """
+
+    core: int
+    horizon: int
+    ops: int = 0
+    busy: int = 0
+    mem_stall: int = 0
+    spin: int = 0
+    migrating: int = 0
+    unplaced_ops: int = 0
+    unplaced_cycles: int = 0
+
+    @property
+    def idle(self) -> int:
+        """Horizon not covered by local busy or out-migration.
+
+        Includes unannotated work and the unplaceable share of
+        cross-core operations, so read it as an upper bound.
+        """
+        return max(0, self.horizon - self.busy - self.migrating)
+
+    def frac(self, value: int) -> float:
+        return value / self.horizon if self.horizon else 0.0
+
+
+def core_breakdown(events: Sequence[Event],
+                   horizon: Optional[int] = None) -> List[CoreBreakdown]:
+    """Per-core busy/mem-stall/spin/migrating/idle attribution."""
+    if horizon is None:
+        horizon = stream_horizon(events)
+    cores: Dict[int, CoreBreakdown] = {}
+
+    def entry(core_id: int) -> CoreBreakdown:
+        item = cores.get(core_id)
+        if item is None:
+            item = cores[core_id] = CoreBreakdown(core_id, horizon)
+        return item
+
+    for event in events:
+        etype = type(event)
+        if etype is OperationFinished:
+            item = entry(event.core)
+            item.ops += 1
+            if event.mem_stall is not None:
+                item.busy += event.cycles
+                item.mem_stall += event.mem_stall
+                item.spin += event.spin
+            else:
+                item.unplaced_ops += 1
+                item.unplaced_cycles += event.cycles
+        elif etype is MigrationStarted:
+            entry(event.core).migrating += event.arrive_ts - event.ts
+    return [cores[core_id] for core_id in sorted(cores)]
+
+
+# ---------------------------------------------------------------------------
+# migration matrix & lock contention
+# ---------------------------------------------------------------------------
+
+def migration_matrix(events: Sequence[Event]) -> Dict[Tuple[int, int], int]:
+    """``(from_core, to_core) -> count`` over all migrations."""
+    matrix: Dict[Tuple[int, int], int] = {}
+    for event in events:
+        if type(event) is MigrationStarted:
+            key = (event.core, event.target)
+            matrix[key] = matrix.get(key, 0) + 1
+    return matrix
+
+
+@dataclass
+class LockStat:
+    """Contention on one lock."""
+
+    name: str
+    contended_acquires: int = 0
+    threads: set = field(default_factory=set)
+    per_core: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def hottest_core(self) -> Optional[int]:
+        if not self.per_core:
+            return None
+        return max(self.per_core, key=lambda c: (self.per_core[c], -c))
+
+
+def lock_table(events: Sequence[Event]) -> List[LockStat]:
+    """Per-lock contention, most contended first."""
+    locks: Dict[str, LockStat] = {}
+    for event in events:
+        if type(event) is not LockContended:
+            continue
+        stat = locks.get(event.lock)
+        if stat is None:
+            stat = locks[event.lock] = LockStat(event.lock)
+        stat.contended_acquires += 1
+        stat.threads.add(event.thread)
+        stat.per_core[event.core] = stat.per_core.get(event.core, 0) + 1
+    return sorted(locks.values(),
+                  key=lambda s: (-s.contended_acquires, s.name))
+
+
+# ---------------------------------------------------------------------------
+# cache occupancy timeline
+# ---------------------------------------------------------------------------
+
+def occupancy_timeline(events: Sequence[Event], n_cores: Optional[int] = None,
+                       width: int = 72) -> str:
+    """Assigned-object count per core cache over time (ASCII strip).
+
+    Built from ``assign``/``move`` events: each column is a time bucket,
+    the glyph is the number of objects assigned to that core's cache at
+    the bucket's end (``0``–``9``, then ``+``).  A consistently high row
+    next to starved rows is the paper's overpacked-cache signal.
+    """
+    changes: List[Tuple[int, int, int]] = []     # (ts, core, delta)
+    horizon = 0
+    max_core = -1
+    for event in events:
+        etype = type(event)
+        if etype is ObjectAssigned:
+            changes.append((event.ts, event.core, +1))
+        elif etype is ObjectMoved:
+            changes.append((event.ts, event.core, -1))
+            changes.append((event.ts, event.target, +1))
+            if event.target > max_core:
+                max_core = event.target
+        else:
+            continue
+        if event.ts > horizon:
+            horizon = event.ts
+        if event.core > max_core:
+            max_core = event.core
+    if not changes:
+        return "(no assignment events recorded)"
+    full_horizon = max(horizon, stream_horizon(events))
+    if n_cores is None:
+        n_cores = max_core + 1
+    width = max(8, width)
+    # width * bucket must strictly exceed the horizon so an event at
+    # exactly ts == horizon still lands inside the final column.
+    bucket = full_horizon // width + 1
+    counts = [0] * n_cores
+    rows = [["0"] * width for _ in range(n_cores)]
+    changes.sort(key=lambda item: item[0])
+    index = 0
+    for column in range(width):
+        edge = (column + 1) * bucket
+        while index < len(changes) and changes[index][0] < edge:
+            _, core_id, delta = changes[index]
+            if core_id < n_cores:
+                counts[core_id] += delta
+            index += 1
+        for core_id in range(n_cores):
+            count = counts[core_id]
+            rows[core_id][column] = str(count) if 0 <= count <= 9 else "+"
+    lines = [f"assigned objects per cache  (bucket = {bucket:,} cycles)"]
+    for core_id in range(n_cores):
+        lines.append(f"core {core_id:>3} |{''.join(rows[core_id])}|")
+    lines.append(f"         0{'cycles'.center(width - 1)}{full_horizon:,}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# folded stacks (speedscope / flamegraph.pl)
+# ---------------------------------------------------------------------------
+
+def folded_stacks(events: Sequence[Event], label: str = "run") -> List[str]:
+    """``workload;object;phase cycles`` lines for flame-graph tools.
+
+    Phases per object: ``compute`` (cycles minus attributed stalls),
+    ``mem-stall``, ``lock-spin``, ``migration``, and ``unattributed``
+    for operations whose deltas were lost to a mid-flight migration.
+    Load the output with speedscope (https://speedscope.app) or pipe it
+    through ``flamegraph.pl``.
+    """
+    lines: List[str] = []
+    for cost in object_costs(events):
+        attributed_cycles = 0
+        if cost.attributed_ops and cost.ops:
+            # Deltas cover only attributed ops; scale busy cycles by the
+            # attributed share so phases never exceed measured cycles.
+            attributed_cycles = round(
+                cost.cycles * cost.attributed_ops / cost.ops)
+        stalls = min(attributed_cycles,
+                     cost.mem_stall_cycles + cost.spin_cycles)
+        compute = max(0, attributed_cycles - stalls)
+        unattributed = max(0, cost.cycles - attributed_cycles)
+        phases = (("compute", compute),
+                  ("mem-stall", cost.mem_stall_cycles),
+                  ("lock-spin", cost.spin_cycles),
+                  ("migration", cost.migration_cycles),
+                  ("unattributed", unattributed))
+        for phase, cycles in phases:
+            if cycles > 0:
+                lines.append(f"{label};{cost.name};{phase} {cycles}")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# stream summary & diff
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StreamSummary:
+    """Per-metric samples and counts for one recording (diff fodder)."""
+
+    label: str
+    horizon: int
+    ops: int
+    migrations: int
+    migration_cycles: int
+    lock_contended: int
+    evictions: int
+    invalidations: int
+    op_cycles: List[int]
+    op_dram: List[int]
+    op_remote: List[int]
+    op_mem_stall: List[int]
+    op_spin: List[int]
+
+
+def summarise_stream(events: Sequence[Event],
+                     label: str = "run") -> StreamSummary:
+    """Collect the per-operation samples and counts a diff compares."""
+    op_cycles: List[int] = []
+    op_dram: List[int] = []
+    op_remote: List[int] = []
+    op_mem: List[int] = []
+    op_spin: List[int] = []
+    migrations = migration_cycles = lock_contended = 0
+    evictions = invalidations = 0
+    for event in events:
+        etype = type(event)
+        if etype is OperationFinished:
+            op_cycles.append(event.cycles)
+            if event.dram is not None:
+                op_dram.append(event.dram)
+                op_remote.append(event.remote)
+                op_mem.append(event.mem_stall)
+                op_spin.append(event.spin)
+        elif etype is MigrationStarted:
+            migrations += 1
+            migration_cycles += event.arrive_ts - event.ts
+        elif etype is LockContended:
+            lock_contended += 1
+        elif etype is CacheEvicted:
+            evictions += 1
+        elif etype is CacheInvalidated:
+            invalidations += event.copies
+    return StreamSummary(
+        label=label, horizon=stream_horizon(events), ops=len(op_cycles),
+        migrations=migrations, migration_cycles=migration_cycles,
+        lock_contended=lock_contended, evictions=evictions,
+        invalidations=invalidations, op_cycles=op_cycles, op_dram=op_dram,
+        op_remote=op_remote, op_mem_stall=op_mem, op_spin=op_spin)
+
+
+@dataclass
+class MetricDelta:
+    """One metric's baseline/candidate comparison."""
+
+    name: str
+    baseline: Optional[SampleStats]
+    candidate: Optional[SampleStats]
+    #: Plain values for count metrics (no per-sample distribution).
+    baseline_value: Optional[float] = None
+    candidate_value: Optional[float] = None
+
+    @property
+    def sampled(self) -> bool:
+        return self.baseline is not None and self.candidate is not None
+
+    @property
+    def delta(self) -> float:
+        if self.sampled:
+            return self.candidate.mean - self.baseline.mean
+        return (self.candidate_value or 0.0) - (self.baseline_value or 0.0)
+
+    @property
+    def delta_pct(self) -> Optional[float]:
+        base = (self.baseline.mean if self.sampled
+                else self.baseline_value)
+        if not base:
+            return None
+        return 100.0 * self.delta / base
+
+    @property
+    def ci95(self) -> Optional[float]:
+        """95% half-width of the delta (independent-samples normal
+        approximation); None for count metrics."""
+        if not self.sampled:
+            return None
+        se = (self.baseline.stderr ** 2
+              + self.candidate.stderr ** 2) ** 0.5
+        return 1.96 * se
+
+    @property
+    def significant(self) -> Optional[bool]:
+        ci = self.ci95
+        if ci is None:
+            return None
+        return abs(self.delta) > ci
+
+
+def _sample_delta(name: str, base: List[int],
+                  cand: List[int]) -> Optional[MetricDelta]:
+    if not base or not cand:
+        return None
+    return MetricDelta(name, summarise(base), summarise(cand))
+
+
+def diff_streams(baseline: Sequence[Event], candidate: Sequence[Event],
+                 baseline_label: str = "baseline",
+                 candidate_label: str = "candidate") -> List[MetricDelta]:
+    """Per-metric deltas between two recordings, CI-qualified.
+
+    Sample metrics (per-operation distributions) carry
+    :class:`~repro.analysis.SampleStats` confidence intervals so a
+    scheduler A/B — or a bench-regression gate — can tell signal from
+    seed noise; count metrics report plain deltas.
+    """
+    base = summarise_stream(baseline, baseline_label)
+    cand = summarise_stream(candidate, candidate_label)
+    deltas: List[MetricDelta] = []
+    for name, bvals, cvals in (
+            ("op latency (cycles/op)", base.op_cycles, cand.op_cycles),
+            ("dram loads/op", base.op_dram, cand.op_dram),
+            ("remote hits/op", base.op_remote, cand.op_remote),
+            ("mem-stall (cycles/op)", base.op_mem_stall, cand.op_mem_stall),
+            ("lock-spin (cycles/op)", base.op_spin, cand.op_spin)):
+        delta = _sample_delta(name, bvals, cvals)
+        if delta is not None:
+            deltas.append(delta)
+    for name, bval, cval in (
+            ("ops", base.ops, cand.ops),
+            ("migrations", base.migrations, cand.migrations),
+            ("migration cycles", base.migration_cycles,
+             cand.migration_cycles),
+            ("contended lock acquires", base.lock_contended,
+             cand.lock_contended),
+            ("L3 evictions", base.evictions, cand.evictions),
+            ("invalidated copies", base.invalidations,
+             cand.invalidations),
+            ("horizon (cycles)", base.horizon, cand.horizon)):
+        if bval or cval:
+            deltas.append(MetricDelta(name, None, None,
+                                      float(bval), float(cval)))
+    return deltas
+
+
+def diff_metrics(baseline: Dict[str, Any],
+                 candidate: Dict[str, Any]) -> List[MetricDelta]:
+    """Deltas between two metrics-registry snapshots (JSON dicts).
+
+    Scalar instruments compare directly; histogram summaries compare by
+    their mean.  Metrics present on only one side are skipped.
+    """
+    deltas: List[MetricDelta] = []
+    for name in sorted(set(baseline) & set(candidate)):
+        bval, cval = baseline[name], candidate[name]
+        if isinstance(bval, dict):
+            bval, cval = bval.get("mean"), (cval or {}).get("mean")
+            name = f"{name}.mean"
+        if isinstance(bval, (int, float)) and isinstance(cval, (int, float)):
+            deltas.append(MetricDelta(name, None, None,
+                                      float(bval), float(cval)))
+    return deltas
+
+
+# ---------------------------------------------------------------------------
+# text rendering
+# ---------------------------------------------------------------------------
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [max(len(headers[i]), *(len(row[i]) for row in rows))
+              if rows else len(headers[i]) for i in range(len(headers))]
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_object_costs(costs: Sequence[ObjectCost],
+                        top: int = 10) -> str:
+    """Top-N attribution table, §4's per-object story as text."""
+    if not costs:
+        return "(no annotated operations recorded)"
+    rows = []
+    for cost in costs[:top]:
+        stall_pct = (100.0 * cost.mem_stall_cycles / cost.cycles
+                     if cost.cycles else 0.0)
+        rows.append([
+            cost.name,
+            f"{cost.ops:,}",
+            f"{cost.total_cycles:,}",
+            f"{cost.cycles_per_op:,.0f}",
+            f"{cost.per_attributed_op(cost.dram_loads):.2f}",
+            f"{cost.per_attributed_op(cost.remote_hits):.2f}",
+            f"{stall_pct:.0f}%",
+            f"{cost.per_attributed_op(cost.spin_cycles):,.0f}",
+            f"{cost.migrations:,}",
+            f"{cost.migration_cycles:,}",
+        ])
+    table = _table(
+        ["object", "ops", "cycles", "cyc/op", "dram/op", "remote/op",
+         "stall", "spin/op", "migr", "migr-cyc"], rows)
+    shown = min(top, len(costs))
+    return (f"Per-object attribution (top {shown} of {len(costs)} "
+            "by total cycles; dram/remote/stall/spin over attributed "
+            f"ops)\n{table}")
+
+
+def render_core_breakdown(cores: Sequence[CoreBreakdown]) -> str:
+    if not cores:
+        return "(no per-core activity recorded)"
+    rows = []
+    for item in cores:
+        rows.append([
+            str(item.core),
+            f"{item.ops:,}",
+            f"{100 * item.frac(item.busy):.0f}%",
+            f"{100 * item.frac(item.mem_stall):.0f}%",
+            f"{100 * item.frac(item.spin):.0f}%",
+            f"{100 * item.frac(item.migrating):.0f}%",
+            f"{100 * item.frac(item.idle):.0f}%",
+            f"{item.unplaced_ops:,}",
+        ])
+    table = _table(
+        ["core", "ops", "busy", "mem-stall", "spin", "migrating",
+         "idle/other", "x-core ops"], rows)
+    horizon = cores[0].horizon
+    return (f"Per-core time breakdown over {horizon:,} cycles "
+            "(busy = operations that ran wholly on the core; "
+            "x-core ops finished here\nafter migrating, so their cycles "
+            f"are not placed on any single core)\n{table}")
+
+
+def render_migration_matrix(matrix: Dict[Tuple[int, int], int]) -> str:
+    if not matrix:
+        return "(no migrations recorded)"
+    cores = sorted({core for pair in matrix for core in pair})
+    headers = ["from\\to"] + [str(core) for core in cores] + ["total"]
+    rows = []
+    for source in cores:
+        row = [str(source)]
+        total = 0
+        for target in cores:
+            count = matrix.get((source, target), 0)
+            total += count
+            row.append(f"{count:,}" if count else ".")
+        row.append(f"{total:,}")
+        rows.append(row)
+    return ("Core-to-core migration matrix (rows = departing core)\n"
+            + _table(headers, rows))
+
+
+def render_lock_table(locks: Sequence[LockStat], top: int = 10) -> str:
+    if not locks:
+        return "(no lock contention recorded)"
+    rows = [[stat.name, f"{stat.contended_acquires:,}",
+             str(len(stat.threads)), str(stat.hottest_core)]
+            for stat in locks[:top]]
+    return ("Lock contention (one event per contended acquire)\n"
+            + _table(["lock", "contended", "threads", "hottest core"],
+                     rows))
+
+
+def render_diff(deltas: Sequence[MetricDelta]) -> str:
+    """Diff table; sampled metrics carry ±CI95 and a significance flag."""
+    if not deltas:
+        return "(no comparable metrics)"
+    rows = []
+    for delta in deltas:
+        if delta.sampled:
+            base = (f"{delta.baseline.mean:,.1f}"
+                    f"±{1.96 * delta.baseline.stderr:,.1f}")
+            cand = (f"{delta.candidate.mean:,.1f}"
+                    f"±{1.96 * delta.candidate.stderr:,.1f}")
+            verdict = ("significant" if delta.significant
+                       else "within noise")
+            change = f"{delta.delta:+,.1f} ± {delta.ci95:,.1f}"
+        else:
+            base = f"{delta.baseline_value:,.0f}"
+            cand = f"{delta.candidate_value:,.0f}"
+            verdict = ""
+            change = f"{delta.delta:+,.0f}"
+        pct = delta.delta_pct
+        change += f" ({pct:+.1f}%)" if pct is not None else ""
+        rows.append([delta.name, base, cand, change, verdict])
+    return _table(["metric", "baseline", "candidate", "delta", ""], rows)
+
+
+def render_report(run: Run, top: int = 10, width: int = 72) -> str:
+    """Full offline report for one run: every §4 explanation as text."""
+    events = run.events
+    sections = [
+        f"=== run: {run.label} "
+        f"({len(events):,} events, horizon "
+        f"{stream_horizon(events):,} cycles) ===",
+        "",
+        render_object_costs(object_costs(events), top=top),
+        "",
+        render_core_breakdown(core_breakdown(events)),
+        "",
+        render_migration_matrix(migration_matrix(events)),
+        "",
+        render_lock_table(lock_table(events), top=top),
+        "",
+        occupancy_timeline(events, width=width),
+    ]
+    return "\n".join(sections)
+
+
+def render_stream_report(events: Sequence[Event], top: int = 10,
+                         width: int = 72) -> str:
+    """Report every run in a stream (streams may hold several)."""
+    return "\n\n".join(render_report(run, top=top, width=width)
+                       for run in split_runs(events))

@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Union
 from repro.cpu.core import Core
 from repro.cpu.machine import Machine
 from repro.errors import DeadlockError, SimulationError
-from repro.mem.counters import aggregate
+from repro.mem.counters import COUNTER_FIELDS, aggregate
 from repro.obs import (MIGRATION_BUCKETS, OP_LATENCY_BUCKETS,
                        QUEUE_DEPTH_BUCKETS, HistogramSummary,
                        LockContended, MigrationStarted, Observability,
@@ -40,6 +40,13 @@ from repro.threads.thread import Program, SimThread, ThreadState
 
 _KIND_STEP = 0
 _KIND_ARRIVAL = 1
+
+# Tuple indices into CounterSnapshot.values for the per-operation
+# attribution deltas published on OperationFinished (tuple indexing beats
+# the snapshot's name-lookup __getattr__ on the obs-enabled hot path).
+_IDX_REMOTE = COUNTER_FIELDS.index("remote_hits")
+_IDX_DRAM = COUNTER_FIELDS.index("dram_loads")
+_IDX_MEM = COUNTER_FIELDS.index("mem_cycles")
 
 
 @dataclass
@@ -98,11 +105,15 @@ class Simulator:
         self._bus = self.obs.bus if self.obs is not None else None
         self._h_oplat = self._h_miglat = None
         self._c_ops = self._c_migrations = self._c_lock_spins = None
+        # Memory-event attribution context: the memory system's per-core
+        # current-object list when capture_memory is on, else None.
+        self._mem_ctx = None
         scheduler.obs = self.obs
         scheduler.bind(machine)
         if self.obs is not None:
             self.obs.begin_run(scheduler.name)
             machine.memory.attach_observability(self.obs)
+            self._mem_ctx = machine.memory.op_obj
             metrics = self.obs.metrics
             if metrics is not None:
                 self._h_oplat = metrics.histogram(
@@ -334,6 +345,11 @@ class Simulator:
             thread.state = ThreadState.RUNNING
             thread.core = core.core_id
             core.current = thread
+            mem_ctx = self._mem_ctx
+            if mem_ctx is not None and thread.ct_object is not None:
+                # Resuming mid-operation (after a migration or yield):
+                # repoint the core's memory-attribution context.
+                mem_ctx[core.core_id] = thread.ct_obj_name
         item = thread.pending
         if item is None:
             try:
@@ -350,6 +366,8 @@ class Simulator:
         thread.state = ThreadState.DONE
         thread.finished_at = core.time
         core.current = None
+        if self._mem_ctx is not None:
+            self._mem_ctx[core.core_id] = None
         self.scheduler.on_thread_done(thread, core, core.time)
         bus = self._bus
         if bus is not None and bus.wants(ThreadFinished):
@@ -422,6 +440,8 @@ class Simulator:
         elif itype is YieldCore:
             thread.pending = None
             core.current = None
+            if self._mem_ctx is not None:
+                self._mem_ctx[core.core_id] = None
             core.runqueue.push(thread)
         elif itype is OpDone:
             counters.ops_completed += 1
@@ -438,12 +458,22 @@ class Simulator:
         snapshot = core.counters.snapshot()
         target = self.scheduler.on_ct_start(thread, obj, core, core.time)
         thread.begin_operation(obj, snapshot, core.time)
+        thread.ct_entry_core = core.core_id
+        thread.ct_entry_migrations = thread.migrations
+        thread.ct_entry_spin = thread.spin_cycles
         thread.pending = None
+        name = None
         bus = self._bus
         if bus is not None and bus.wants(OperationStarted):
-            bus.publish(OperationStarted(
-                core.time, core.core_id, thread.name,
-                getattr(obj, "name", None) or repr(obj)))
+            name = getattr(obj, "name", None) or repr(obj)
+            bus.publish(OperationStarted(core.time, core.core_id,
+                                         thread.name, name))
+        mem_ctx = self._mem_ctx
+        if mem_ctx is not None:
+            if name is None:
+                name = getattr(obj, "name", None) or repr(obj)
+            thread.ct_obj_name = name
+            mem_ctx[core.core_id] = name
         if target is not None and target != core.core_id:
             self._migrate(core, thread, target)
 
@@ -453,6 +483,27 @@ class Simulator:
         target = self.scheduler.on_ct_end(thread, core, core.time)
         obj = thread.ct_object
         cycles = core.time - thread.ct_started_at
+        bus = self._bus
+        finished = None
+        if bus is not None and bus.wants(OperationFinished):
+            # Attribution deltas are only meaningful when the whole
+            # operation ran on the entry core; after a mid-operation
+            # migration the entry snapshot belongs to another counter
+            # bank and the fields stay None.
+            dram = remote = mem_stall = spin = None
+            snap = thread.ct_entry_snapshot
+            if (snap is not None and thread.ct_entry_core == core.core_id
+                    and thread.ct_entry_migrations == thread.migrations):
+                values = snap.values
+                counters = core.counters
+                dram = counters.dram_loads - values[_IDX_DRAM]
+                remote = counters.remote_hits - values[_IDX_REMOTE]
+                mem_stall = counters.mem_cycles - values[_IDX_MEM]
+                spin = thread.spin_cycles - thread.ct_entry_spin
+            finished = OperationFinished(
+                core.time, core.core_id, thread.name,
+                getattr(obj, "name", None) or repr(obj), cycles,
+                dram, remote, mem_stall, spin)
         thread.end_operation()
         core.counters.ops_completed += 1
         self.total_ops += 1
@@ -460,11 +511,10 @@ class Simulator:
         if self._h_oplat is not None:
             self._h_oplat.observe(cycles)
             self._c_ops.inc()
-        bus = self._bus
-        if bus is not None and bus.wants(OperationFinished):
-            bus.publish(OperationFinished(
-                core.time, core.core_id, thread.name,
-                getattr(obj, "name", None) or repr(obj), cycles))
+        if finished is not None:
+            bus.publish(finished)
+        if self._mem_ctx is not None:
+            self._mem_ctx[core.core_id] = None
         if target is not None and target != core.core_id:
             self._migrate(core, thread, target)
 
@@ -478,6 +528,8 @@ class Simulator:
         thread.migrations += 1
         core.counters.migrations_out += 1
         core.current = None
+        if self._mem_ctx is not None:
+            self._mem_ctx[core.core_id] = None
         arrive = core.time + spec.migration_cost
         if spec.poll_interval:
             grid = spec.poll_interval

@@ -36,6 +36,8 @@ class SimThread:
         "home_core", "core",
         "pending",
         "ct_object", "ct_entry_snapshot", "ct_started_at",
+        "ct_entry_core", "ct_entry_migrations", "ct_entry_spin",
+        "ct_obj_name",
         "ops_completed", "migrations", "spin_cycles", "spinning",
         "wait_cycles",
         "created_at", "finished_at",
@@ -58,6 +60,18 @@ class SimThread:
         #: Counter snapshot taken at ct_start for per-object miss deltas.
         self.ct_entry_snapshot = None
         self.ct_started_at = 0
+        #: Where the operation started, and the thread's migration count
+        #: and spin-cycle total at that moment — the engine uses these to
+        #: decide whether the per-operation counter delta is valid (the
+        #: thread may have migrated mid-operation) and to measure spin
+        #: cycles attributable to the operation.
+        self.ct_entry_core: Optional[int] = None
+        self.ct_entry_migrations = 0
+        self.ct_entry_spin = 0
+        #: Display name of ``ct_object``; set only when memory-event
+        #: capture needs it (the engine keeps the memory system's
+        #: per-core operation context pointed at this string).
+        self.ct_obj_name: Optional[str] = None
         self.ops_completed = 0
         self.migrations = 0
         #: Cycles burned spinning on locks.
@@ -107,6 +121,8 @@ class SimThread:
         obj = self.ct_object
         self.ct_object = None
         self.ct_entry_snapshot = None
+        self.ct_entry_core = None
+        self.ct_obj_name = None
         self.ops_completed += 1
         return obj
 

@@ -12,7 +12,8 @@ from repro.obs.bus import EventBus, EventLog
 from repro.obs.events import (ALL_EVENTS, CONTROL_EVENTS, EVENT_KINDS,
                               MEMORY_EVENTS, Event, MigrationStarted,
                               OperationFinished, RunMarker, ThreadSpawned)
-from repro.obs.export import ascii_timeline, chrome_trace, events_to_jsonl
+from repro.obs.export import (SCHEMA_VERSION, ascii_timeline, chrome_trace,
+                              events_to_jsonl)
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (Counter, Histogram, MetricsRegistry)
 from repro.sched.base import SchedulerRuntime
@@ -161,6 +162,39 @@ class TestHistogram:
         assert summary.count == 0
         assert summary.percentile(0.5) is None
         assert summary.mean == 0.0
+
+    def test_empty_percentile_is_none_for_every_quantile(self):
+        summary = Histogram("h", (10, 20)).summary()
+        for p in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert summary.percentile(p) is None
+        assert summary.min is None and summary.max is None
+        data = summary.as_dict()
+        assert data["p50"] is None and data["p95"] is None
+
+    def test_single_bucket_percentiles(self):
+        hist = Histogram("h", (100,))
+        for value in (1, 50, 100):      # all inside the only bucket
+            hist.observe(value)
+        summary = hist.summary()
+        for p in (0.25, 0.5, 0.95, 1.0):
+            assert summary.percentile(p) == 100
+        assert summary.percentile(0.0) == 100   # rank 0 -> first bucket
+
+    def test_single_bucket_overflow_reports_observed_max(self):
+        hist = Histogram("h", (100,))
+        hist.observe(5000)              # lands in the overflow bucket
+        summary = hist.summary()
+        # The overflow bucket's bound is inf; the estimate must fall
+        # back to the observed maximum, never return inf.
+        assert summary.percentile(0.5) == 5000
+        assert summary.percentile(1.0) == 5000
+
+    def test_percentile_range_is_validated(self):
+        summary = Histogram("h", (10,)).summary()
+        with pytest.raises(ConfigError):
+            summary.percentile(-0.1)
+        with pytest.raises(ConfigError):
+            summary.percentile(1.1)
 
 
 class TestMetricsRegistry:
@@ -347,7 +381,11 @@ class TestChromeTrace:
         obs = Observability()
         run_workload(obs=obs)
         lines = events_to_jsonl(obs.events()).splitlines()
-        assert len(lines) == len(obs.events())
+        # one meta header line + one line per event
+        assert len(lines) == len(obs.events()) + 1
+        meta = json.loads(lines[0])
+        assert meta["kind"] == "meta"
+        assert meta["schema_version"] == SCHEMA_VERSION
         kinds = {json.loads(line)["kind"] for line in lines}
         assert "spawn" in kinds
 

@@ -1,0 +1,501 @@
+"""Tests for repro.obs.profile and the repro-analyze CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import summarise
+from repro.cpu.machine import Machine
+from repro.errors import ProfileError
+from repro.obs import Observability
+from repro.obs.cli import main as analyze_main
+from repro.obs.events import (ALL_EVENTS, CacheEvicted, CacheInvalidated,
+                              LockContended, MigrationStarted,
+                              ObjectAssigned, ObjectMoved, OperationFinished,
+                              OperationStarted, RebalanceRound, RunMarker,
+                              SchedDecision, ThreadArrived, ThreadFinished,
+                              ThreadSpawned)
+from repro.obs.export import SCHEMA_VERSION, events_to_jsonl
+from repro.obs.profile import (MetricDelta, core_breakdown, diff_metrics,
+                               diff_streams, folded_stacks, load_jsonl,
+                               lock_table, migration_matrix, object_costs,
+                               occupancy_timeline, parse_jsonl,
+                               render_report, split_runs, stream_horizon,
+                               summarise_stream)
+from repro.sched.thread_sched import ThreadScheduler
+from repro.sim.engine import Simulator
+from repro.workloads.dirlookup import DirectoryLookupWorkload, DirWorkloadSpec
+
+from tests.helpers import tiny_spec
+
+#: One fully-populated instance of every event type the bus can carry.
+SAMPLE_EVENTS = [
+    RunMarker(0, "thread"),
+    ThreadSpawned(5, 0, "t0"),
+    ThreadArrived(210, 1, "t0"),
+    SchedDecision(220, 1, "t0", "dir:D1", 2),
+    MigrationStarted(230, 1, "t0", 2, 430),
+    OperationStarted(430, 2, "t0", "dir:D1"),
+    OperationFinished(930, 2, "t0", "dir:D1", 500, 4, 7, 120, 30),
+    OperationFinished(1400, 2, "t1", "dir:D2", 400, None, None, None, None),
+    ObjectAssigned(1500, 2, "dir:D1"),
+    ObjectMoved(2000, 2, "dir:D1", 3, 0.75),
+    RebalanceRound(2100, 1),
+    CacheEvicted(2200, 2, "L3", 12345, "dir:D1"),
+    CacheEvicted(2210, 2, "L3", 12389, None),
+    CacheInvalidated(2300, 2, 99, 3, "dir:D1"),
+    LockContended(2400, 2, "t1", "dirlock:D1"),
+    ThreadFinished(2500, 2, "t0"),
+]
+
+
+def run_events(until=120_000):
+    """A small real run recorded through the full pipeline."""
+    obs = Observability(capture_memory=True)
+    machine = Machine(tiny_spec())
+    sim = Simulator(machine, ThreadScheduler(), obs=obs)
+    spec = DirWorkloadSpec(n_dirs=8, files_per_dir=16, think_cycles=10,
+                           threads_per_core=2, seed=7)
+    DirectoryLookupWorkload(machine, spec).spawn_all(sim)
+    sim.run(until=until)
+    return obs.events()
+
+
+# ---------------------------------------------------------------------------
+# schema round-trip (satellite: no field loss for any event type)
+# ---------------------------------------------------------------------------
+
+class TestSchemaRoundTrip:
+    def test_every_event_type_survives_export_and_ingest(self):
+        assert {type(e) for e in SAMPLE_EVENTS} == set(ALL_EVENTS)
+        recording = parse_jsonl(
+            events_to_jsonl(SAMPLE_EVENTS).splitlines())
+        assert recording.schema_version == SCHEMA_VERSION
+        assert len(recording.events) == len(SAMPLE_EVENTS)
+        for original, parsed in zip(SAMPLE_EVENTS, recording.events):
+            assert type(parsed) is type(original)
+            assert parsed == original        # field-by-field equality
+
+    def test_real_run_round_trips_with_no_field_loss(self):
+        events = run_events()
+        recording = parse_jsonl(events_to_jsonl(events).splitlines())
+        assert recording.events == events
+
+    def test_exporter_stamps_schema_version(self):
+        first = events_to_jsonl(SAMPLE_EVENTS).splitlines()[0]
+        meta = json.loads(first)
+        assert meta["kind"] == "meta"
+        assert meta["schema_version"] == SCHEMA_VERSION
+
+    def test_newer_schema_version_is_refused(self):
+        lines = [json.dumps({"kind": "meta",
+                             "schema_version": SCHEMA_VERSION + 1})]
+        with pytest.raises(ProfileError, match="newer than this analyzer"):
+            parse_jsonl(lines)
+
+    def test_unknown_kind_is_refused(self):
+        with pytest.raises(ProfileError, match="unknown event kind"):
+            parse_jsonl([json.dumps({"kind": "warp_drive", "ts": 1})])
+
+    def test_unknown_field_is_refused(self):
+        line = json.dumps({"kind": "spawn", "ts": 1, "core": 0,
+                           "thread": "t0", "color": "red"})
+        with pytest.raises(ProfileError, match="unknown fields"):
+            parse_jsonl([line])
+
+    def test_missing_field_is_refused_on_current_schema(self):
+        meta = json.dumps({"kind": "meta",
+                           "schema_version": SCHEMA_VERSION})
+        line = json.dumps({"kind": "spawn", "ts": 1, "core": 0})
+        with pytest.raises(ProfileError, match="missing fields"):
+            parse_jsonl([meta, line])
+
+    def test_legacy_headerless_stream_none_fills_new_fields(self):
+        # PR 1's exporter wrote no meta line and no attribution fields.
+        line = json.dumps({"kind": "op_end", "ts": 900, "core": 1,
+                           "thread": "t0", "obj": "dir:D1", "cycles": 500})
+        recording = parse_jsonl([line])
+        assert recording.schema_version == 1
+        event = recording.events[0]
+        assert event.cycles == 500
+        assert event.dram is None and event.spin is None
+
+    def test_non_json_line_is_refused(self):
+        with pytest.raises(ProfileError, match="not valid JSON"):
+            parse_jsonl(["{nope"])
+
+    def test_blank_lines_are_skipped(self):
+        text = events_to_jsonl(SAMPLE_EVENTS) + "\n\n"
+        recording = parse_jsonl(text.splitlines())
+        assert len(recording.events) == len(SAMPLE_EVENTS)
+
+
+# ---------------------------------------------------------------------------
+# determinism (satellite: same seed -> byte-identical JSONL)
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    def test_same_seed_gives_byte_identical_jsonl(self):
+        from repro.bench.figures import figure_2
+
+        streams = []
+        for _ in range(2):
+            obs = Observability()
+            figure_2(n_dirs=6, run_cycles=120_000, seed=11, obs=obs)
+            streams.append(events_to_jsonl(obs.events()))
+        assert streams[0] == streams[1]
+
+    def test_different_seed_gives_different_stream(self):
+        from repro.bench.figures import figure_2
+
+        streams = []
+        for seed in (11, 12):
+            obs = Observability()
+            figure_2(n_dirs=6, run_cycles=120_000, seed=seed, obs=obs)
+            streams.append(events_to_jsonl(obs.events()))
+        assert streams[0] != streams[1]
+
+
+# ---------------------------------------------------------------------------
+# stream structure
+# ---------------------------------------------------------------------------
+
+class TestStreamStructure:
+    def test_split_runs_on_markers(self):
+        events = [RunMarker(0, "a"), ThreadSpawned(1, 0, "t0"),
+                  RunMarker(10, "b"), ThreadSpawned(11, 0, "t1")]
+        runs = split_runs(events)
+        assert [run.label for run in runs] == ["a", "b"]
+        assert [len(run.events) for run in runs] == [1, 1]
+
+    def test_markerless_stream_becomes_one_run(self):
+        runs = split_runs([ThreadSpawned(1, 0, "t0")])
+        assert len(runs) == 1 and runs[0].label == "run"
+
+    def test_horizon_counts_migration_landing(self):
+        events = [MigrationStarted(100, 0, "t0", 1, 300)]
+        assert stream_horizon(events) == 300
+
+
+# ---------------------------------------------------------------------------
+# attribution analytics
+# ---------------------------------------------------------------------------
+
+class TestObjectCosts:
+    def test_counters_and_ranking(self):
+        events = [
+            OperationFinished(100, 0, "t0", "hot", 900, 6, 2, 300, 40),
+            OperationFinished(200, 0, "t1", "cold", 100, 1, 0, 10, 0),
+            OperationFinished(300, 0, "t0", "hot", 700, 4, 2, 200, 0),
+        ]
+        hot, cold = object_costs(events)
+        assert hot.name == "hot" and cold.name == "cold"
+        assert hot.ops == 2 and hot.attributed_ops == 2
+        assert hot.cycles == 1600 and hot.dram_loads == 10
+        assert hot.mem_stall_cycles == 500 and hot.spin_cycles == 40
+        assert hot.cycles_per_op == 800
+        assert hot.per_attributed_op(hot.dram_loads) == 5.0
+
+    def test_migrated_op_is_counted_but_not_attributed(self):
+        events = [OperationFinished(100, 0, "t0", "x", 500,
+                                    None, None, None, None)]
+        (cost,) = object_costs(events)
+        assert cost.ops == 1 and cost.attributed_ops == 0
+        assert cost.per_attributed_op(cost.dram_loads) == 0.0
+
+    def test_migration_charged_to_in_flight_operation(self):
+        events = [
+            OperationStarted(10, 0, "t0", "dir:D1"),
+            MigrationStarted(20, 0, "t0", 1, 220),
+            OperationFinished(400, 1, "t0", "dir:D1", 390,
+                              None, None, None, None),
+            MigrationStarted(500, 1, "t0", 0, 700),   # between operations
+        ]
+        costs = {cost.name: cost for cost in object_costs(events)}
+        assert costs["dir:D1"].migrations == 1
+        assert costs["dir:D1"].migration_cycles == 200
+        assert costs["(no operation)"].migrations == 1
+
+    def test_memory_events_attributed_by_obj_field(self):
+        events = [
+            CacheEvicted(10, 0, "L3", 1, "dir:D1"),
+            CacheEvicted(11, 0, "L3", 2, None),      # outside an operation
+            CacheInvalidated(12, 0, 3, 4, "dir:D1"),
+        ]
+        costs = {cost.name: cost for cost in object_costs(events)}
+        assert costs["dir:D1"].evictions == 1
+        assert costs["dir:D1"].invalidations == 4
+        assert "(no operation)" not in costs
+
+
+class TestCoreBreakdown:
+    def test_local_ops_fill_busy(self):
+        events = [OperationFinished(1000, 0, "t0", "x", 600, 1, 0, 200, 50)]
+        (core,) = core_breakdown(events, horizon=1000)
+        assert core.busy == 600 and core.mem_stall == 200
+        assert core.spin == 50 and core.idle == 400
+        assert core.unplaced_ops == 0
+
+    def test_cross_core_op_cycles_are_not_placed(self):
+        # A migrated op's cycles span several cores and queue time;
+        # placing them on the finishing core once pushed busy past 100%.
+        events = [OperationFinished(1000, 0, "t0", "x", 5000,
+                                    None, None, None, None)]
+        (core,) = core_breakdown(events, horizon=1000)
+        assert core.busy == 0
+        assert core.unplaced_ops == 1 and core.unplaced_cycles == 5000
+        assert core.frac(core.busy) <= 1.0
+
+    def test_outbound_migration_time(self):
+        events = [MigrationStarted(100, 2, "t0", 3, 400)]
+        (core,) = core_breakdown(events, horizon=1000)
+        assert core.core == 2 and core.migrating == 300
+
+
+class TestMatrixLocksTimeline:
+    def test_migration_matrix(self):
+        events = [MigrationStarted(1, 0, "t0", 1, 201),
+                  MigrationStarted(2, 0, "t1", 1, 202),
+                  MigrationStarted(3, 1, "t0", 0, 203)]
+        assert migration_matrix(events) == {(0, 1): 2, (1, 0): 1}
+
+    def test_lock_table_orders_by_contention(self):
+        events = [LockContended(1, 0, "t0", "a"),
+                  LockContended(2, 1, "t1", "b"),
+                  LockContended(3, 1, "t2", "b")]
+        stats = lock_table(events)
+        assert [stat.name for stat in stats] == ["b", "a"]
+        assert stats[0].contended_acquires == 2
+        assert stats[0].hottest_core == 1
+        assert stats[0].threads == {"t1", "t2"}
+
+    def test_occupancy_timeline_counts_assignments(self):
+        events = [ObjectAssigned(10, 0, "a"), ObjectAssigned(20, 0, "b"),
+                  ObjectMoved(900, 0, "a", 1, 0.5)]
+        text = occupancy_timeline(events, width=10)
+        lines = text.splitlines()
+        assert lines[1].startswith("core   0")
+        assert lines[1].rstrip("|").endswith("1")     # after the move
+        assert lines[2].rstrip("|").endswith("1")     # core 1 gained it
+
+    def test_occupancy_timeline_without_assignments(self):
+        assert "no assignment events" in occupancy_timeline([])
+
+
+class TestFoldedStacks:
+    def test_phases_partition_measured_cycles(self):
+        events = [
+            OperationStarted(10, 0, "t0", "x"),
+            MigrationStarted(20, 0, "t0", 1, 120),
+            OperationFinished(1000, 0, "t0", "x", 800, 2, 1, 300, 100),
+        ]
+        lines = folded_stacks(events, label="wl")
+        parsed = {}
+        for line in lines:
+            stack, cycles = line.rsplit(" ", 1)
+            workload, obj, phase = stack.split(";")
+            assert workload == "wl" and obj == "x"
+            parsed[phase] = int(cycles)
+        assert parsed["mem-stall"] == 300
+        assert parsed["lock-spin"] == 100
+        assert parsed["compute"] == 400
+        assert parsed["migration"] == 100
+        assert (parsed["compute"] + parsed["mem-stall"]
+                + parsed["lock-spin"]) == 800
+
+    def test_unattributed_phase_for_migrated_ops(self):
+        events = [OperationFinished(1000, 0, "t0", "x", 500,
+                                    None, None, None, None)]
+        (line,) = folded_stacks(events)
+        assert line == "run;x;unattributed 500"
+
+    def test_real_run_folds(self):
+        lines = folded_stacks(run_events())
+        assert lines
+        for line in lines:
+            stack, cycles = line.rsplit(" ", 1)
+            assert len(stack.split(";")) == 3
+            assert int(cycles) > 0
+
+
+# ---------------------------------------------------------------------------
+# diff with confidence intervals
+# ---------------------------------------------------------------------------
+
+def _ops(values, obj="x", core=0):
+    return [OperationFinished(100 * i, core, f"t{i}", obj, v, 1, 0, 10, 0)
+            for i, v in enumerate(values)]
+
+
+class TestDiff:
+    def test_clear_improvement_is_significant(self):
+        base = _ops([1000, 1010, 990, 1005, 995] * 4)
+        cand = _ops([500, 510, 490, 505, 495] * 4)
+        deltas = {d.name: d for d in diff_streams(base, cand)}
+        latency = deltas["op latency (cycles/op)"]
+        assert latency.sampled
+        assert latency.delta == pytest.approx(-500, abs=5)
+        assert latency.ci95 < 20
+        assert latency.significant is True
+
+    def test_noise_is_not_significant(self):
+        base = _ops([1000, 1200, 800, 1100, 900])
+        cand = _ops([1010, 1190, 810, 1090, 910])
+        deltas = {d.name: d for d in diff_streams(base, cand)}
+        assert deltas["op latency (cycles/op)"].significant is False
+
+    def test_ci_matches_normal_approximation(self):
+        base_vals, cand_vals = [100, 200, 300], [150, 250, 350]
+        delta = diff_streams(_ops(base_vals), _ops(cand_vals))[0]
+        expected = 1.96 * (summarise(base_vals).stderr ** 2
+                           + summarise(cand_vals).stderr ** 2) ** 0.5
+        assert delta.ci95 == pytest.approx(expected)
+
+    def test_count_metrics_have_plain_deltas(self):
+        base = [MigrationStarted(1, 0, "t0", 1, 201)]
+        cand = [MigrationStarted(1, 0, "t0", 1, 201),
+                MigrationStarted(2, 0, "t1", 1, 202)]
+        deltas = {d.name: d for d in diff_streams(base, cand)}
+        migrations = deltas["migrations"]
+        assert not migrations.sampled
+        assert migrations.delta == 1 and migrations.ci95 is None
+
+    def test_diff_metrics_snapshots(self):
+        base = {"sim.ops": 100, "op.latency": {"mean": 2000.0, "count": 5},
+                "only.base": 1}
+        cand = {"sim.ops": 150, "op.latency": {"mean": 1500.0, "count": 5},
+                "only.cand": 2}
+        deltas = {d.name: d for d in diff_metrics(base, cand)}
+        assert deltas["sim.ops"].delta == 50
+        assert deltas["op.latency.mean"].delta == -500
+        assert "only.base" not in deltas and "only.cand" not in deltas
+
+    def test_delta_pct(self):
+        delta = MetricDelta("n", None, None, 100.0, 150.0)
+        assert delta.delta_pct == pytest.approx(50.0)
+        assert MetricDelta("n", None, None, 0.0, 5.0).delta_pct is None
+
+
+# ---------------------------------------------------------------------------
+# report rendering & end-to-end CLI
+# ---------------------------------------------------------------------------
+
+class TestReportAndCli:
+    @pytest.fixture()
+    def recorded(self, tmp_path):
+        obs = Observability(capture_memory=True)
+        machine = Machine(tiny_spec())
+        sim = Simulator(machine, ThreadScheduler(), obs=obs)
+        spec = DirWorkloadSpec(n_dirs=8, files_per_dir=16, think_cycles=10,
+                               threads_per_core=2, seed=7)
+        DirectoryLookupWorkload(machine, spec).spawn_all(sim)
+        sim.run(until=120_000)
+        path = tmp_path / "run.events.jsonl"
+        obs.write_jsonl(str(path))
+        metrics = tmp_path / "run.metrics.json"
+        metrics.write_text(json.dumps(obs.metrics_snapshot()),
+                           encoding="utf-8")
+        return path, metrics
+
+    def test_render_report_has_all_sections(self, recorded):
+        path, _ = recorded
+        (run,) = split_runs(load_jsonl(str(path)).events)
+        text = render_report(run)
+        assert "Per-object attribution" in text
+        assert "Per-core time breakdown" in text
+        assert "Lock contention" in text or "no lock contention" in text
+        assert "dir:" in text
+
+    def test_cli_report(self, recorded, capsys):
+        path, metrics = recorded
+        assert analyze_main(["report", str(path),
+                             "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-object attribution" in out
+        assert "Metrics snapshot" in out
+
+    def test_cli_report_to_file(self, recorded, tmp_path):
+        path, _ = recorded
+        out = tmp_path / "report.txt"
+        assert analyze_main(["report", str(path), "-o", str(out)]) == 0
+        assert "Per-object attribution" in out.read_text(encoding="utf-8")
+
+    def test_cli_diff_self_is_within_noise(self, recorded, capsys):
+        path, _ = recorded
+        assert analyze_main(["diff", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "within noise" in out
+        assert "significant" not in out.replace("within noise", "")
+
+    def test_cli_folded(self, recorded, tmp_path):
+        path, _ = recorded
+        out = tmp_path / "run.folded"
+        assert analyze_main(["folded", str(path), "-o", str(out)]) == 0
+        content = out.read_text(encoding="utf-8").strip()
+        assert content
+        for line in content.splitlines():
+            stack, cycles = line.rsplit(" ", 1)
+            assert stack.count(";") == 2 and int(cycles) > 0
+
+    def test_cli_timeline(self, recorded, capsys):
+        path, _ = recorded
+        assert analyze_main(["timeline", str(path)]) == 0
+        assert "=== run: thread ===" in capsys.readouterr().out
+
+    def test_cli_run_filter(self, recorded, capsys):
+        path, _ = recorded
+        assert analyze_main(["report", str(path), "--run", "thread"]) == 0
+        assert analyze_main(["report", str(path), "--run", "0"]) == 0
+        assert analyze_main(["report", str(path), "--run", "nope"]) == 2
+        assert "no run labelled" in capsys.readouterr().err
+
+    def test_cli_missing_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "missing.jsonl"
+        assert analyze_main(["report", str(missing)]) == 2
+        assert "repro-analyze" in capsys.readouterr().err
+
+    def test_cli_rejects_newer_schema(self, tmp_path, capsys):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps(
+            {"kind": "meta", "schema_version": SCHEMA_VERSION + 1}) + "\n",
+            encoding="utf-8")
+        assert analyze_main(["report", str(path)]) == 2
+        assert "newer than this analyzer" in capsys.readouterr().err
+
+    def test_profile_report_matches_cli_sections(self):
+        obs = Observability()
+        machine = Machine(tiny_spec())
+        sim = Simulator(machine, ThreadScheduler(), obs=obs)
+        spec = DirWorkloadSpec(n_dirs=8, files_per_dir=16, think_cycles=10,
+                               threads_per_core=2, seed=7)
+        DirectoryLookupWorkload(machine, spec).spawn_all(sim)
+        sim.run(until=120_000)
+        text = obs.profile_report()
+        assert "Per-object attribution" in text
+        assert "=== run: thread" in text
+
+
+# ---------------------------------------------------------------------------
+# stream summary
+# ---------------------------------------------------------------------------
+
+class TestSummariseStream:
+    def test_counts(self):
+        events = [
+            OperationFinished(100, 0, "t0", "x", 500, 1, 0, 10, 0),
+            OperationFinished(200, 0, "t1", "x", 400, None, None, None,
+                              None),
+            MigrationStarted(300, 0, "t0", 1, 500),
+            LockContended(400, 0, "t0", "lk"),
+            CacheEvicted(500, 0, "L3", 1, None),
+            CacheInvalidated(600, 0, 2, 3, None),
+        ]
+        summary = summarise_stream(events)
+        assert summary.ops == 2
+        assert summary.op_cycles == [500, 400]
+        assert summary.op_dram == [1]          # attributed ops only
+        assert summary.migrations == 1
+        assert summary.migration_cycles == 200
+        assert summary.lock_contended == 1
+        assert summary.evictions == 1
+        assert summary.invalidations == 3
