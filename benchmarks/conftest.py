@@ -15,7 +15,18 @@ Longer, more detailed figures: ``python -m repro.bench all --full``.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.bench.report import RESULTS_DIR
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _results_dir():
+    """Reports land in ``benchmarks/results/``, which is generated (and
+    gitignored) — make sure it exists before any benchmark writes."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -9,7 +9,7 @@ from repro.cpu.machine import Machine
 from repro.cpu.topology import MachineSpec
 from repro.sched.thread_sched import ThreadScheduler
 from repro.sim.engine import Simulator
-from repro.threads.program import Compute, Load, Scan
+from repro.threads.program import Compute, Scan
 
 
 def _machine():

@@ -38,6 +38,8 @@ def _list_experiments() -> str:
     for name in sorted(EXPERIMENTS):
         lines.append(f"  {name:<{width}}  {_describe(EXPERIMENTS[name])}")
     lines.append(f"  {'all':<{width}}  every experiment above, in order")
+    lines.append(f"  {'perf':<{width}}  simulator performance kernels "
+                 "(regression gate; see --baseline/--check)")
     return "\n".join(lines)
 
 
@@ -57,9 +59,10 @@ def main(argv=None) -> int:
         prog="python -m repro.bench",
         description="Regenerate the paper's figures and the ablations.")
     parser.add_argument("experiment", nargs="?",
-                        choices=sorted(EXPERIMENTS) + ["all"],
+                        choices=sorted(EXPERIMENTS) + ["all", "perf"],
                         help="which experiment to run "
-                             "(see --list for descriptions)")
+                             "(see --list for descriptions); 'perf' runs "
+                             "the simulator performance kernels")
     parser.add_argument("--list", action="store_true",
                         help="list experiments with one-line descriptions "
                              "and exit")
@@ -84,6 +87,25 @@ def main(argv=None) -> int:
                              "benchmarks/results/NAME.txt")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the report file paths")
+    perf_group = parser.add_argument_group(
+        "perf", "options for the 'perf' experiment (simulator kernels "
+        "+ benchmark-regression gate; see BENCH_simulator.json)")
+    perf_group.add_argument("--repeats", type=int, default=5,
+                            help="timed repeats per kernel (default 5)")
+    perf_group.add_argument("--kernels", default=None,
+                            help="comma-separated kernel subset "
+                                 "(default: all)")
+    perf_group.add_argument("--out", metavar="PATH", default=None,
+                            help="write the perf report JSON to PATH")
+    perf_group.add_argument("--baseline", metavar="PATH", default=None,
+                            help="compare against a committed perf "
+                                 "baseline JSON")
+    perf_group.add_argument("--tolerance", type=float, default=0.20,
+                            help="relative regression tolerance for "
+                                 "--baseline (default 0.20)")
+    perf_group.add_argument("--check", action="store_true",
+                            help="exit non-zero when --baseline "
+                                 "comparison finds a regression")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -91,6 +113,9 @@ def main(argv=None) -> int:
         return 0
     if args.experiment is None:
         parser.error("experiment is required (or use --list)")
+    if args.experiment == "perf":
+        from repro.bench.perf import main_perf
+        return main_perf(args)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

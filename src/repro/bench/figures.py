@@ -16,8 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.harness import (SCHEDULERS, Series, coretime_factory,
                                  run_point, sweep)
-from repro.bench.report import figure_report, table
-from repro.core.coretime import CoreTimeConfig, CoreTimeScheduler
+from repro.bench.report import figure_report
 from repro.core.object_table import CtObject
 from repro.core.packing import make_budgets, pack
 from repro.cpu.machine import Machine

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 from repro.core.clustering import AffinityTracker
 from repro.core.monitor import Monitor
 from repro.core.object_table import CtObject, ObjectTable
-from repro.core.packing import CacheBudget, get_policy, make_budgets
+from repro.core.packing import get_policy, make_budgets
 from repro.core.policies import LfuReplacement, ReplicationPolicy
 from repro.core.rebalancer import Rebalancer
 from repro.errors import SchedulerError

@@ -18,7 +18,7 @@ overloaded cores and overpacked caches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.object_table import CtObject
 from repro.cpu.machine import Machine

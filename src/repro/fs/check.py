@@ -23,7 +23,6 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.fs.directory import DirEntry
 from repro.fs.fat import DIR_ENTRY_SIZE, FIRST_CLUSTER, FREE, FatImage
 from repro.fs.image import FatFilesystem
 

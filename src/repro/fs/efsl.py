@@ -19,7 +19,7 @@ walks the directory, exactly as modified EFSL did.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from repro.core.object_table import CtObject
 from repro.cpu.machine import Machine
@@ -27,7 +27,7 @@ from repro.errors import FilesystemError
 from repro.fs.directory import FatDirectory
 from repro.fs.fat import DIR_ENTRY_SIZE
 from repro.fs.image import FatFilesystem
-from repro.threads.program import (Acquire, Compute, CtEnd, CtStart,
+from repro.threads.program import (Acquire, CtEnd, CtStart,
                                    Release, Scan)
 
 #: Cycles to compare one 32-byte entry against the wanted name (a couple

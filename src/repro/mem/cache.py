@@ -73,6 +73,16 @@ class LRUCache:
         lines[line] = None
         if len(lines) <= self.capacity:
             return None
+        return self._evict()
+
+    def _evict(self) -> int:
+        """Pop and return the LRU victim (the cache is over capacity).
+
+        Split out of :meth:`insert` so the memory system's flattened hot
+        path can do the presence test and MRU insert inline on ``_lines``
+        and only pay a method call on actual overflow.
+        """
+        lines = self._lines
         self.evictions += 1
         if not self.pinned:
             victim, _ = lines.popitem(last=False)

@@ -63,8 +63,15 @@ class CoreCounters:
         return self.l3_hits + self.remote_hits + self.dram_loads
 
     def snapshot(self) -> "CounterSnapshot":
-        return CounterSnapshot(
-            tuple(getattr(self, field) for field in COUNTER_FIELDS))
+        # Tuple literal in COUNTER_FIELDS order (tests pin the
+        # correspondence); every ct_start takes a snapshot, so this path
+        # avoids the genexpr/getattr machinery of the generic form.
+        return CounterSnapshot((
+            self.l1_hits, self.l2_hits, self.l3_hits, self.remote_hits,
+            self.dram_loads, self.stores, self.invalidations,
+            self.lock_acquires, self.lock_spins, self.migrations_in,
+            self.migrations_out, self.idle_cycles, self.busy_cycles,
+            self.mem_cycles, self.ops_completed))
 
     def as_dict(self) -> Dict[str, int]:
         return {field: getattr(self, field) for field in COUNTER_FIELDS}

@@ -24,7 +24,7 @@ linear directory scans cheaper than pointer chasing.
 
 from __future__ import annotations
 
-import math
+from math import exp as _exp
 from typing import List
 
 from repro.cpu.topology import LatencySpec, MachineSpec
@@ -61,7 +61,7 @@ class MemoryController:
         controller is loaded.
         """
         if now > self.clock:
-            self.demand *= math.exp((self.clock - now) / UTILISATION_TAU)
+            self.demand *= _exp((self.clock - now) / UTILISATION_TAU)
             self.clock = now
         self.demand += self.occupancy
         rho = self.demand / UTILISATION_TAU
@@ -92,7 +92,8 @@ class Dram:
     commodity systems interleave physical pages across controllers.
     """
 
-    __slots__ = ("spec", "latency", "controllers")
+    __slots__ = ("spec", "latency", "controllers", "_n_chips", "_raw_base",
+                 "_raw_stream")
 
     def __init__(self, spec: MachineSpec) -> None:
         self.spec = spec
@@ -101,6 +102,18 @@ class Dram:
             MemoryController(chip, spec.latency.dram_occupancy)
             for chip in range(spec.n_chips)
         ]
+        # Raw (pre-queueing) access latencies depend only on the
+        # (requesting chip, home bank) pair; precompute both the demand
+        # and streamed variants so the miss path skips the hop-distance
+        # arithmetic.
+        self._n_chips = spec.n_chips
+        latency = spec.latency
+        self._raw_base = [
+            [latency.dram_base + latency.dram_hop * spec.chip_distance(a, b)
+             for b in range(spec.n_chips)] for a in range(spec.n_chips)]
+        self._raw_stream = [
+            [latency.dram_stream + latency.dram_hop * spec.chip_distance(a, b)
+             for b in range(spec.n_chips)] for a in range(spec.n_chips)]
 
     def home_chip(self, line: int) -> int:
         """Chip whose DRAM bank holds ``line``."""
@@ -113,12 +126,9 @@ class Dram:
         Returns the latency in cycles, including hop distance to the home
         bank and any controller queueing delay.
         """
-        bank = line % self.spec.n_chips
-        hops = self.spec.chip_distance(from_chip, bank)
-        if sequential:
-            raw = self.latency.dram_stream + self.latency.dram_hop * hops
-        else:
-            raw = self.latency.dram_base + self.latency.dram_hop * hops
+        bank = line % self._n_chips
+        raw = (self._raw_stream if sequential
+               else self._raw_base)[from_chip][bank]
         return self.controllers[bank].service(now, raw)
 
     @property

@@ -17,7 +17,8 @@ from repro.cpu.topology import MachineSpec
 class Interconnect:
     """Latency oracle plus traffic accounting for chip-to-chip messages."""
 
-    __slots__ = ("spec", "transfers", "invalidations", "context_transfers")
+    __slots__ = ("spec", "transfers", "invalidations", "context_transfers",
+                 "_remote_cost", "_stream_cost", "_inval_cost")
 
     def __init__(self, spec: MachineSpec) -> None:
         self.spec = spec
@@ -28,25 +29,43 @@ class Interconnect:
         #: (src_chip, dst_chip) -> thread-context lines carried
         #: (migration payload, kept separate from data coherence traffic).
         self.context_transfers: Dict[Tuple[int, int], int] = {}
+        # Hop costs depend only on the chip pair; precompute every pair
+        # once so the per-miss path is two list indexes, not a distance
+        # computation plus latency-spec attribute chain.
+        latency = spec.latency
+        n = spec.n_chips
+        self._remote_cost = [
+            [latency.remote_same_chip
+             + latency.remote_hop * spec.chip_distance(a, b)
+             for b in range(n)] for a in range(n)]
+        self._stream_cost = [
+            [latency.remote_stream
+             + latency.remote_hop * spec.chip_distance(a, b) // 3
+             for b in range(n)] for a in range(n)]
+        self._inval_cost = [
+            [latency.invalidate
+             + latency.remote_hop * spec.chip_distance(a, b)
+             for b in range(n)] for a in range(n)]
 
     def remote_cache_latency(self, from_chip: int, holder_chip: int) -> int:
         """Latency to fetch a line from a cache on ``holder_chip``."""
-        latency = self.spec.latency
-        hops = self.spec.chip_distance(from_chip, holder_chip)
-        cost = latency.remote_same_chip + latency.remote_hop * hops
         if from_chip != holder_chip:
             key = (holder_chip, from_chip)
             self.transfers[key] = self.transfers.get(key, 0) + 1
-        return cost
+        return self._remote_cost[from_chip][holder_chip]
+
+    def remote_stream_latency(self, from_chip: int, holder_chip: int) -> int:
+        """Prefetch-pipelined cost of a remote fetch continuing a
+        sequential stream (no per-line message accounting — the stream is
+        one pipelined transfer, like a streamed DRAM read)."""
+        return self._stream_cost[from_chip][holder_chip]
 
     def invalidate_latency(self, from_chip: int, holder_chip: int) -> int:
         """Latency contribution of invalidating a copy on ``holder_chip``."""
-        latency = self.spec.latency
-        hops = self.spec.chip_distance(from_chip, holder_chip)
         if from_chip != holder_chip:
             key = (from_chip, holder_chip)
             self.invalidations[key] = self.invalidations.get(key, 0) + 1
-        return latency.invalidate + latency.remote_hop * hops
+        return self._inval_cost[from_chip][holder_chip]
 
     def count_migration(self, from_chip: int, to_chip: int,
                         context_lines: int = 4) -> None:

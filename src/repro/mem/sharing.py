@@ -95,5 +95,10 @@ class SharingDirectory:
     def cached_lines(self) -> Iterable[int]:
         return self._holders.keys()
 
+    def clear(self) -> None:
+        """Forget every holder, in place (keeps the dict's identity — the
+        memory system's fast path holds a direct reference to it)."""
+        self._holders.clear()
+
     def __len__(self) -> int:
         return len(self._holders)

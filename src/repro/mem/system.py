@@ -21,6 +21,15 @@ local hierarchy); stores invalidate every remote copy via the sharing
 directory.  Both effects — replication eating capacity, invalidation
 generating interconnect traffic — are exactly what §1 of the paper blames
 for poor implicit on-chip-memory scheduling.
+
+Hot-path layout: when every cache is a plain :class:`LRUCache` (the
+default factory), per-line lookups run through :meth:`_load_line_fast`,
+which works on a per-core tuple of flattened state — counter bank, the
+caches' underlying ordered dicts and capacities, chip id, L3 holder id —
+plus the directory's raw line->holders dict.  This removes every Python
+method call from the hit paths and the insert cascade while mutating the
+exact same underlying structures, so behaviour (and event streams) are
+bit-identical to the generic path used under a custom ``cache_factory``.
 """
 
 from __future__ import annotations
@@ -77,6 +86,49 @@ class MemorySystem:
         # Pre-computed per-core values for the hot path.
         self._chip_of = [spec.chip_of(c) for c in range(n_cores)]
         self._lat = spec.latency
+        self._lat_l1 = spec.latency.l1
+        self._lat_l2 = spec.latency.l2
+        self._lat_l3 = spec.latency.l3
+        #: holder id -> chip id, for every valid holder (cores then L3s).
+        self._holder_chip: List[int] = (
+            [spec.chip_of(c) for c in range(n_cores)]
+            + list(range(spec.n_chips)))
+        #: chip x chip hop-distance matrix (avoids spec method calls).
+        self._dist: List[List[int]] = [
+            [spec.chip_distance(a, b) for b in range(spec.n_chips)]
+            for a in range(spec.n_chips)]
+        #: The directory's raw line -> holder-set dict.  Shared identity
+        #: with ``self.directory._holders`` for the lifetime of the
+        #: system (``flush_all`` clears it in place).
+        self._holders = self.directory._holders
+        # Flattened per-core state for the fast path: one tuple per core,
+        # unpacked in C on every line access instead of chasing
+        # list-index + attribute chains.  Only valid when every cache is
+        # a plain LRUCache; custom factories use the generic path.
+        self._fast = all(
+            type(c) is LRUCache
+            for c in self.l1s + self.l2s + self.l3s)
+        if self._fast:
+            self._core_state: List[tuple] = []
+            for c in range(n_cores):
+                l1, l2 = self.l1s[c], self.l2s[c]
+                chip = self._chip_of[c]
+                l3 = self.l3s[chip]
+                self._core_state.append((
+                    self.counters[c],
+                    l1, l1._lines, l1.capacity,
+                    l2, l2._lines, l2.capacity,
+                    l3, l3._lines, l3.capacity,
+                    chip, self.directory.l3_holder(chip), c))
+            #: Just the L1 ordered dicts, for the hit path's early probe
+            #: (no 13-tuple unpack on a hit).
+            self._l1ds = [l1._lines for l1 in self.l1s]
+            #: Interned (latency, source) results for the fixed-latency
+            #: hit levels — no tuple allocation per access.
+            self._res_l1 = (self._lat_l1, SRC_L1)
+            self._res_l2 = (self._lat_l2, SRC_L2)
+            self._res_l3 = (self._lat_l3, SRC_L3)
+            self._load_line = self._load_line_fast
         # Observability: None until attach_observability(); publish sites
         # gate on it so the un-observed hot path allocates nothing.
         self._bus = None
@@ -123,7 +175,7 @@ class MemorySystem:
     def load(self, core_id: int, addr: int, now: int) -> int:
         """Load the line containing ``addr``; return latency in cycles."""
         latency, _ = self._load_line(
-            core_id, addr // self.line_size, now, sequential=False)
+            core_id, addr // self.line_size, now, False)
         self.counters[core_id].mem_cycles += latency
         return latency
 
@@ -135,23 +187,23 @@ class MemorySystem:
         real hardware, so we charge the slowest one, not the sum.
         """
         line = addr // self.line_size
-        latency, _ = self._load_line(core_id, line, now, sequential=False)
+        latency, _ = self._load_line(core_id, line, now, False)
         counters = self.counters[core_id]
         counters.stores += 1
-        my_holder = core_id  # directory.core_holder(core_id)
-        others = self.directory.holders_excluding(line, my_holder)
+        holders = self._holders.get(line)
+        others = ([h for h in holders if h != core_id]
+                  if holders else None)
         if others:
             my_chip = self._chip_of[core_id]
+            holder_chip = self._holder_chip
+            invalidate = self.interconnect.invalidate_latency
             worst = 0
             for holder in others:
                 self._drop_from_holder(line, holder)
-                holder_chip = self.directory.chip_of_holder(
-                    holder, self.spec.cores_per_chip)
-                cost = self.interconnect.invalidate_latency(
-                    my_chip, holder_chip)
+                cost = invalidate(my_chip, holder_chip[holder])
                 if cost > worst:
                     worst = cost
-                counters.invalidations += 1
+            counters.invalidations += len(others)
             latency += worst
             bus = self._bus
             if bus is not None and bus.wants(CacheInvalidated):
@@ -180,6 +232,29 @@ class MemorySystem:
         load_line = self._load_line
         total = 0
         stream_run = False
+        if self._fast:
+            # Inline the L1-hit case: one dict probe + move_to_end per
+            # line, with hit counts batched outside the loop.
+            state = self._core_state[core_id]
+            counters = state[0]
+            l1d = state[2]
+            move_to_end = l1d.move_to_end
+            hit_cost = self._lat_l1 + per_line_compute
+            l1_hits = 0
+            for line in range(first, last + 1):
+                if line in l1d:
+                    move_to_end(line)
+                    l1_hits += 1
+                    total += hit_cost
+                    stream_run = False
+                else:
+                    latency, source = load_line(core_id, line, now + total,
+                                                stream_run)
+                    total += latency + per_line_compute
+                    stream_run = source >= SRC_REMOTE
+            counters.l1_hits += l1_hits
+            counters.mem_cycles += total
+            return total
         for line in range(first, last + 1):
             latency, source = load_line(core_id, line, now + total,
                                         stream_run)
@@ -196,9 +271,160 @@ class MemorySystem:
     # hot path
     # ------------------------------------------------------------------
 
+    def _load_line_fast(self, core_id: int, line: int, now: int,
+                        sequential: bool) -> Tuple[int, int]:
+        """Flattened :meth:`_load_line` for all-LRU cache hierarchies.
+
+        Operates directly on the caches' ordered dicts and the directory's
+        holder-set dict — the lookup, the hit bookkeeping, and the full
+        L1 -> L2 -> L3 victim cascade run inline with zero intermediate
+        method calls.  Mutations are identical to the generic path, so the
+        two produce byte-identical event streams.
+        """
+        l1d = self._l1ds[core_id]
+        if line in l1d:
+            l1d.move_to_end(line)
+            self.counters[core_id].l1_hits += 1
+            return self._res_l1
+        (counters, l1, _, l1_cap, l2, l2d, l2_cap, l3, l3d, l3_cap,
+         chip, l3_holder, _) = self._core_state[core_id]
+        holders_map = self._holders
+        already_held = False
+        if line in l2d:
+            counters.l2_hits += 1
+            del l2d[line]
+            if l2.pinned:
+                l2.pinned.discard(line)
+            already_held = True
+            result = self._res_l2
+        elif line in l3d:
+            # AMD K10's non-inclusive L3: on a hit, keep the L3 copy when
+            # the line is shared (other private holders exist), so chip-
+            # shared data keeps serving at 75 cycles; hand it over
+            # exclusively when this requester is the only interested
+            # party, so single-reader data (CoreTime-partitioned objects)
+            # does not burn capacity twice.
+            counters.l3_hits += 1
+            holders = holders_map.get(line)
+            if holders is not None and len(holders) > 1:
+                l3d.move_to_end(line)
+            else:
+                del l3d[line]
+                if l3.pinned:
+                    l3.pinned.discard(line)
+                if holders is not None:
+                    holders.discard(l3_holder)
+                    if not holders:
+                        del holders_map[line]
+            result = self._res_l3
+        else:
+            # Inlined _nearest_holder (shares the holder-set probe).
+            holders = holders_map.get(line)
+            holder = None
+            if holders:
+                holder_chips = self._holder_chip
+                dist = self._dist[chip]
+                best_d = 1 << 30
+                for h in holders:
+                    d = dist[holder_chips[h]]
+                    if d < best_d:
+                        holder, best_d = h, d
+                        if d == 0:
+                            break
+            if holder is not None:
+                counters.remote_hits += 1
+                holder_chip = self._holder_chip[holder]
+                if sequential:
+                    # A remote fetch continuing a sequential stream is
+                    # prefetch-pipelined like a streamed DRAM read.
+                    latency = self.interconnect.remote_stream_latency(
+                        chip, holder_chip)
+                else:
+                    latency = self.interconnect.remote_cache_latency(
+                        chip, holder_chip)
+                # Read-sharing: the remote copy stays put; we replicate.
+                result = (latency, SRC_REMOTE)
+            else:
+                counters.dram_loads += 1
+                result = (self.dram.load(line, chip, now, sequential),
+                          SRC_DRAM)
+        # --- inlined _insert_local over the flattened state ------------
+        if not already_held:
+            holders = holders_map.get(line)
+            if holders is None:
+                holders_map[line] = {core_id}
+            else:
+                holders.add(core_id)
+        # L1 insert (MRU); the cascade below only runs on overflow.
+        if line in l1d:
+            l1d.move_to_end(line)
+            return result
+        l1d[line] = None
+        if len(l1d) <= l1_cap:
+            return result
+        if not l1.pinned:
+            l1.evictions += 1
+            victim = l1d.popitem(False)[0]
+        else:
+            victim = l1._evict()
+        # L2 insert.
+        if victim in l2d:
+            l2d.move_to_end(victim)
+            return result
+        l2d[victim] = None
+        if len(l2d) <= l2_cap:
+            return result
+        if not l2.pinned:
+            l2.evictions += 1
+            victim2 = l2d.popitem(False)[0]
+        else:
+            victim2 = l2._evict()
+        # Leaving the private hierarchy for the chip's shared L3.  One
+        # probe serves both the discard and the add; the mutation history
+        # (set emptied -> entry deleted -> fresh set created) matches the
+        # generic path exactly, keeping holder-set iteration order — and
+        # therefore event streams — byte-identical.
+        holders = holders_map.get(victim2)
+        if holders is not None:
+            holders.discard(core_id)
+            if not holders:
+                del holders_map[victim2]
+                holders = None
+        if holders is None:
+            holders_map[victim2] = {l3_holder}
+        else:
+            holders.add(l3_holder)
+        if victim2 in l3d:
+            l3d.move_to_end(victim2)
+            return result
+        l3d[victim2] = None
+        if len(l3d) <= l3_cap:
+            return result
+        if not l3.pinned:
+            l3.evictions += 1
+            victim3 = l3d.popitem(False)[0]
+        else:
+            victim3 = l3._evict()
+        # Clean drop: DRAM always has the data.
+        holders = holders_map.get(victim3)
+        if holders is not None:
+            holders.discard(l3_holder)
+            if not holders:
+                del holders_map[victim3]
+        bus = self._bus
+        if bus is not None and bus.wants(CacheEvicted):
+            bus.publish(CacheEvicted(now, core_id, "L3", victim3,
+                                     self.op_obj[core_id]))
+        return result
+
     def _load_line(self, core_id: int, line: int, now: int,
                    sequential: bool) -> Tuple[int, int]:
-        """Load one line for ``core_id``; return (latency, source)."""
+        """Load one line for ``core_id``; return (latency, source).
+
+        Generic path, used when a custom ``cache_factory`` supplied
+        non-LRU caches (the constructor rebinds ``self._load_line`` to
+        :meth:`_load_line_fast` otherwise).
+        """
         counters = self.counters[core_id]
         lat = self._lat
         l1 = self.l1s[core_id]
@@ -215,12 +441,7 @@ class MemorySystem:
         chip = self._chip_of[core_id]
         l3 = self.l3s[chip]
         if line in l3:
-            # AMD K10's non-inclusive L3: on a hit, keep the L3 copy when
-            # the line is shared (other private holders exist), so chip-
-            # shared data keeps serving at 75 cycles; hand it over
-            # exclusively when this requester is the only interested
-            # party, so single-reader data (CoreTime-partitioned objects)
-            # does not burn capacity twice.
+            # Same non-inclusive L3 hand-over rule as the fast path.
             counters.l3_hits += 1
             if self.directory.sharer_count(line) > 1:
                 l3.touch(line)
@@ -232,13 +453,10 @@ class MemorySystem:
         holder = self._nearest_holder(line, chip)
         if holder is not None:
             counters.remote_hits += 1
-            holder_chip = self.directory.chip_of_holder(
-                holder, self.spec.cores_per_chip)
+            holder_chip = self._holder_chip[holder]
             if sequential:
-                # A remote fetch continuing a sequential stream is
-                # prefetch-pipelined like a streamed DRAM read.
-                hops = self.spec.chip_distance(chip, holder_chip)
-                latency = lat.remote_stream + lat.remote_hop * hops // 3
+                latency = self.interconnect.remote_stream_latency(
+                    chip, holder_chip)
             else:
                 latency = self.interconnect.remote_cache_latency(
                     chip, holder_chip)
@@ -252,16 +470,15 @@ class MemorySystem:
 
     def _nearest_holder(self, line: int, from_chip: int) -> Optional[int]:
         """Closest holder of ``line`` by chip distance, or None."""
-        holders = self.directory._holders.get(line)
+        holders = self._holders.get(line)
         if not holders:
             return None
-        chip_of_holder = self.directory.chip_of_holder
-        cores_per_chip = self.spec.cores_per_chip
-        distance = self.spec.chip_distance
+        holder_chip = self._holder_chip
+        dist = self._dist[from_chip]
         best = None
         best_d = 1 << 30
         for holder in holders:
-            d = distance(from_chip, chip_of_holder(holder, cores_per_chip))
+            d = dist[holder_chip[holder]]
             if d < best_d:
                 best, best_d = holder, d
                 if d == 0:
@@ -315,7 +532,9 @@ class MemorySystem:
     def flush_all(self) -> None:
         for cache in self.l1s + self.l2s + self.l3s:
             cache.clear()
-        self.directory = SharingDirectory(self.spec.n_cores)
+        # Clear in place: the fast path holds a reference to the
+        # directory's holder dict, so the directory object must survive.
+        self.directory.clear()
 
     def holder_caches(self, holder: int) -> List[LRUCache]:
         """The concrete cache objects behind a directory holder id."""

@@ -19,7 +19,7 @@ engine itself; subscribing to a base class does not capture subclasses.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple, Type
+from typing import Callable, Dict, List, Type
 
 from repro.obs.events import Event
 

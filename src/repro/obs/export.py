@@ -20,7 +20,7 @@ are exact.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.events import (CacheEvicted, CacheInvalidated, Event,
                               LockContended, MigrationStarted,

@@ -9,7 +9,7 @@ program of Figure 1.  On-chip memory is managed implicitly by the caches.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.sched.base import SchedulerRuntime
 

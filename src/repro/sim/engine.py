@@ -11,6 +11,12 @@ advances that core's clock by the item's simulated cost.  Threads are
 cooperative: they run until they migrate, finish, or explicitly yield,
 exactly like CoreTime's per-core user-level threading (§4).
 
+Item dispatch is a precomputed per-class table (``_dispatch``) built at
+construction: one dict lookup per step instead of a type-comparison chain,
+with every :data:`~repro.threads.program.ITEM_TYPES` class guaranteed an
+entry (enforced by tests).  An unknown item raises
+:class:`~repro.errors.SimulationError` exactly as before.
+
 Known approximation (documented in DESIGN.md): a ``Scan`` is charged in a
 single step, so another core observes its cache-state effects at the scan's
 start time rather than spread across it.  Scans are lock-protected in the
@@ -21,7 +27,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.cpu.core import Core
 from repro.cpu.machine import Machine
@@ -91,6 +97,11 @@ class Simulator:
                  obs: Optional[Observability] = None) -> None:
         self.machine = machine
         self.memory = machine.memory
+        # Bound-method handles for the per-item handlers (one attribute
+        # hop instead of two on every memory access).
+        self._mem_load = machine.memory.load
+        self._mem_store = machine.memory.store
+        self._mem_scan = machine.memory.scan
         self.scheduler = scheduler
         self.obs = obs
         self.tracer = tracer
@@ -142,6 +153,25 @@ class Simulator:
             self._speeds = [machine.spec.speed_of(c)
                             for c in range(machine.n_cores)]
         self._ops_at_run_start = 0
+        # Idle-poll interval is a static scheduler property (class
+        # attribute on work stealing); hoisted out of the per-event path.
+        self._idle_poll = getattr(scheduler, "idle_poll_interval", 0)
+        # Precomputed per-item-class dispatch table.  One dict lookup per
+        # step replaces the old type-comparison chain; the table covers
+        # exactly ITEM_TYPES (tests assert this stays true).
+        self._dispatch: Dict[type, Callable[[Core, SimThread, Any], None]] \
+            = {
+                Compute: self._do_compute,
+                Scan: self._do_scan,
+                Load: self._do_load,
+                Store: self._do_store,
+                Acquire: self._do_acquire,
+                Release: self._do_release,
+                CtStart: self._do_ct_start,
+                CtEnd: self._do_ct_end,
+                YieldCore: self._do_yield,
+                OpDone: self._do_op_done,
+            }
 
     # ------------------------------------------------------------------
     # thread management
@@ -216,6 +246,10 @@ class Simulator:
     def _run(self, until: Optional[int], max_ops: Optional[int],
              max_steps: Optional[int]) -> RunResult:
         heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        cores = self.machine.cores
+        step = self._step
         ops_target = (self.total_ops + max_ops) if max_ops else None
         steps_left = max_steps if max_steps is not None else -1
         self._ops_at_run_start = self.total_ops
@@ -224,24 +258,28 @@ class Simulator:
                 break
             if steps_left == 0:
                 break
-            entry = heapq.heappop(heap)
-            time = entry[0]
+            entry = heappop(heap)
+            time, _, kind, payload = entry
             if until is not None and time > until:
-                heapq.heappush(heap, entry)
+                heappush(heap, entry)
                 break
-            kind = entry[2]
             if kind == _KIND_STEP:
-                core: Core = entry[3]
+                core: Core = payload
                 core.in_heap = False
-                self._step(core, time)
+                step(core, time)
                 if core.current is not None or core.runqueue:
-                    self._push_step(core)
+                    # Inlined _push_step: re-arm the core's next step.
+                    if not core.in_heap:
+                        core.in_heap = True
+                        self._seq += 1
+                        heappush(heap,
+                                 (core.time, self._seq, _KIND_STEP, core))
                 else:
                     core.note_idle()
                     self._maybe_poll_idle(core, time)
             else:  # arrival
-                thread, core_id = entry[3]
-                core = self.machine.cores[core_id]
+                thread, core_id = payload
+                core = cores[core_id]
                 core.counters.migrations_in += 1
                 thread.state = ThreadState.READY
                 self._enqueue_thread(thread, core_id, time)
@@ -307,7 +345,7 @@ class Simulator:
         elif len(core.runqueue) > 1:
             # Queued-up work: give parked cores a chance to scavenge it
             # (no-op unless the scheduler polls while idle).
-            interval = getattr(self.scheduler, "idle_poll_interval", 0)
+            interval = self._idle_poll
             if interval:
                 for other in self.machine.cores:
                     if other.current is None and not other.in_heap \
@@ -323,7 +361,7 @@ class Simulator:
         ``idle_poll_interval`` is positive (work stealing) gets the core
         re-woken periodically while other cores have queued threads.
         """
-        interval = getattr(self.scheduler, "idle_poll_interval", 0)
+        interval = self._idle_poll
         if not interval or core.in_heap:
             return
         if any(c.runqueue for c in self.machine.cores if c is not core):
@@ -352,15 +390,21 @@ class Simulator:
                 mem_ctx[core.core_id] = thread.ct_obj_name
         item = thread.pending
         if item is None:
+            # Inlined thread.advance(): the engine only steps live
+            # threads, so the DONE guard in advance() cannot fire here.
             try:
-                item = thread.advance()
+                item = next(thread.program)
             except StopIteration:
                 self._finish_thread(thread, core)
                 return
             thread.pending = item
         self.total_steps += 1
         core.steps += 1
-        self._execute(core, thread, item)
+        handler = self._dispatch.get(item.__class__)
+        if handler is None:
+            raise SimulationError(
+                f"thread {thread.name} yielded unknown item {item!r}")
+        handler(core, thread, item)
 
     def _finish_thread(self, thread: SimThread, core: Core) -> None:
         thread.state = ThreadState.DONE
@@ -374,85 +418,92 @@ class Simulator:
             bus.publish(ThreadFinished(core.time, core.core_id,
                                        thread.name))
 
-    def _execute(self, core: Core, thread: SimThread, item: Any) -> None:
-        itype = type(item)
+    # ------------------------------------------------------------------
+    # per-item handlers (dispatch-table targets)
+    # ------------------------------------------------------------------
+
+    def _do_compute(self, core: Core, thread: SimThread, item: Any) -> None:
+        cycles = item.cycles
+        if self._speeds is not None and cycles:
+            # A faster core retires the same work in fewer cycles.
+            cycles = max(1, round(cycles / self._speeds[core.core_id]))
+        core.counters.busy_cycles += cycles
+        core.time += cycles
+        thread.pending = None
+
+    def _do_scan(self, core: Core, thread: SimThread, item: Any) -> None:
+        latency = self._mem_scan(core.core_id, item.addr, item.nbytes,
+                                 core.time, item.per_line_compute)
+        core.counters.busy_cycles += latency
+        core.time += latency
+        thread.pending = None
+
+    def _do_load(self, core: Core, thread: SimThread, item: Any) -> None:
+        latency = self._mem_load(core.core_id, item.addr, core.time)
+        core.counters.busy_cycles += latency
+        core.time += latency
+        thread.pending = None
+
+    def _do_store(self, core: Core, thread: SimThread, item: Any) -> None:
+        latency = self._mem_store(core.core_id, item.addr, core.time)
+        core.counters.busy_cycles += latency
+        core.time += latency
+        thread.pending = None
+
+    def _do_acquire(self, core: Core, thread: SimThread, item: Any) -> None:
+        lock = item.lock
         counters = core.counters
-        memory = self.memory
-        if itype is Scan:
-            latency = memory.scan(core.core_id, item.addr, item.nbytes,
-                                  core.time, item.per_line_compute)
-            counters.busy_cycles += latency
-            core.time += latency
-            thread.pending = None
-        elif itype is Compute:
-            cycles = item.cycles
-            if self._speeds is not None and cycles:
-                # A faster core retires the same work in fewer cycles.
-                cycles = max(1, round(cycles / self._speeds[core.core_id]))
-            counters.busy_cycles += cycles
-            core.time += cycles
-            thread.pending = None
-        elif itype is CtStart:
-            self._ct_start(core, thread, item.obj)
-        elif itype is CtEnd:
-            self._ct_end(core, thread)
-        elif itype is Load:
-            latency = memory.load(core.core_id, item.addr, core.time)
-            counters.busy_cycles += latency
-            core.time += latency
-            thread.pending = None
-        elif itype is Store:
-            latency = memory.store(core.core_id, item.addr, core.time)
-            counters.busy_cycles += latency
-            core.time += latency
-            thread.pending = None
-        elif itype is Acquire:
-            lock = item.lock
-            if lock.try_acquire(thread):
-                latency = memory.store(core.core_id, lock.addr, core.time)
-                counters.lock_acquires += 1
-                thread.spinning = False
-                thread.pending = None
-            else:
-                latency = (memory.load(core.core_id, lock.addr, core.time)
-                           + self._spec.spin_backoff)
-                counters.lock_spins += 1
-                thread.spin_cycles += latency
-                if self._c_lock_spins is not None:
-                    self._c_lock_spins.inc()
-                if not thread.spinning:
-                    # One event per contended acquire, not per retry —
-                    # retries are counted by the lock_spins metric.
-                    thread.spinning = True
-                    bus = self._bus
-                    if bus is not None and bus.wants(LockContended):
-                        bus.publish(LockContended(core.time, core.core_id,
-                                                  thread.name, lock.name))
-                # pending stays set: the acquire retries next step.
-            counters.busy_cycles += latency
-            core.time += latency
-        elif itype is Release:
-            item.lock.release(thread)
-            latency = memory.store(core.core_id, item.lock.addr, core.time)
-            counters.busy_cycles += latency
-            core.time += latency
-            thread.pending = None
-        elif itype is YieldCore:
-            thread.pending = None
-            core.current = None
-            if self._mem_ctx is not None:
-                self._mem_ctx[core.core_id] = None
-            core.runqueue.push(thread)
-        elif itype is OpDone:
-            counters.ops_completed += 1
-            thread.ops_completed += 1
-            self.total_ops += 1
-            if self._c_ops is not None:
-                self._c_ops.inc()
+        if lock.try_acquire(thread):
+            latency = self._mem_store(core.core_id, lock.addr, core.time)
+            counters.lock_acquires += 1
+            thread.spinning = False
             thread.pending = None
         else:
-            raise SimulationError(
-                f"thread {thread.name} yielded unknown item {item!r}")
+            latency = (self._mem_load(core.core_id, lock.addr, core.time)
+                       + self._spec.spin_backoff)
+            counters.lock_spins += 1
+            thread.spin_cycles += latency
+            if self._c_lock_spins is not None:
+                self._c_lock_spins.inc()
+            if not thread.spinning:
+                # One event per contended acquire, not per retry —
+                # retries are counted by the lock_spins metric.
+                thread.spinning = True
+                bus = self._bus
+                if bus is not None and bus.wants(LockContended):
+                    bus.publish(LockContended(core.time, core.core_id,
+                                              thread.name, lock.name))
+            # pending stays set: the acquire retries next step.
+        counters.busy_cycles += latency
+        core.time += latency
+
+    def _do_release(self, core: Core, thread: SimThread, item: Any) -> None:
+        item.lock.release(thread)
+        latency = self._mem_store(core.core_id, item.lock.addr, core.time)
+        core.counters.busy_cycles += latency
+        core.time += latency
+        thread.pending = None
+
+    def _do_yield(self, core: Core, thread: SimThread, item: Any) -> None:
+        thread.pending = None
+        core.current = None
+        if self._mem_ctx is not None:
+            self._mem_ctx[core.core_id] = None
+        core.runqueue.push(thread)
+
+    def _do_op_done(self, core: Core, thread: SimThread, item: Any) -> None:
+        core.counters.ops_completed += 1
+        thread.ops_completed += 1
+        self.total_ops += 1
+        if self._c_ops is not None:
+            self._c_ops.inc()
+        thread.pending = None
+
+    def _do_ct_start(self, core: Core, thread: SimThread, item: Any) -> None:
+        self._ct_start(core, thread, item.obj)
+
+    def _do_ct_end(self, core: Core, thread: SimThread, item: Any) -> None:
+        self._ct_end(core, thread)
 
     def _ct_start(self, core: Core, thread: SimThread, obj: Any) -> None:
         snapshot = core.counters.snapshot()

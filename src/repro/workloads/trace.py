@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, TextIO, Tuple
+from typing import Iterator, List, Optional, TextIO, Tuple
 
 from repro.cpu.machine import Machine
 from repro.errors import ConfigError

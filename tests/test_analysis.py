@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import (SampleStats, compare, run_seeds, summarise)
+from repro.analysis import (compare, run_seeds, summarise)
 
 
 class TestSummarise:

@@ -6,7 +6,6 @@ from repro.bench.ascii_plot import plot
 from repro.bench.harness import (SCHEDULERS, BenchPoint, Series,
                                  coretime_factory, run_point, sweep)
 from repro.bench.report import figure_report, table
-from repro.cpu.topology import MachineSpec
 from repro.errors import ConfigError
 from repro.workloads.dirlookup import DirWorkloadSpec
 

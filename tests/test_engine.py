@@ -10,7 +10,6 @@ from repro.sim.trace import RecordingTracer
 from repro.threads.program import (Acquire, Compute, CtEnd, CtStart, Load,
                                    OpDone, Release, Scan, Store, YieldCore)
 from repro.threads.sync import SpinLock
-from repro.threads.thread import ThreadState
 
 from tests.helpers import tiny_spec
 

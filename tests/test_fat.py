@@ -5,8 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import FilesystemError
-from repro.fs.fat import (DIR_ENTRY_SIZE, EOC, FIRST_CLUSTER, FREE,
-                          FatImage, FatParams)
+from repro.fs.fat import (DIR_ENTRY_SIZE, EOC, FIRST_CLUSTER, FatImage, FatParams)
 from repro.fs.names import decode_name, dir_name, encode_name, file_name
 
 

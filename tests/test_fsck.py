@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fs.check import fsck
-from repro.fs.fat import EOC, FIRST_CLUSTER
+from repro.fs.fat import EOC
 from repro.fs.image import FatFilesystem
 
 

@@ -6,12 +6,10 @@ stack (FAT image -> workload -> scheduler -> engine -> memory model) and
 asserts a *qualitative* result from the paper.
 """
 
-import pytest
 
 from repro.bench.harness import SCHEDULERS, coretime_factory, run_point
 from repro.cpu.machine import Machine
 from repro.cpu.topology import MachineSpec
-from repro.sched.thread_sched import ThreadScheduler
 from repro.core.coretime import CoreTimeConfig, CoreTimeScheduler
 from repro.sim.engine import Simulator
 from repro.workloads.dirlookup import (DirectoryLookupWorkload,

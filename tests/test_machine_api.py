@@ -6,11 +6,9 @@ import pytest
 
 from repro.core.api import ct_object, method_operation, operation
 from repro.core.object_table import CtObject
-from repro.cpu.machine import Machine
 from repro.errors import ConfigError
 from repro.threads.program import Compute, CtEnd, CtStart, Scan
 
-from tests.helpers import tiny_spec
 
 
 class TestMachine:

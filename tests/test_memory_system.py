@@ -1,10 +1,8 @@
 """Tests for repro.mem.system (the full hierarchy)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cpu.topology import MachineSpec
 from repro.mem.system import (SRC_DRAM, SRC_L1, SRC_L2, SRC_L3, SRC_REMOTE,
                               MemorySystem)
 

@@ -15,7 +15,7 @@ from repro.obs.events import (ALL_EVENTS, CONTROL_EVENTS, EVENT_KINDS,
 from repro.obs.export import (SCHEMA_VERSION, ascii_timeline, chrome_trace,
                               events_to_jsonl)
 from repro.obs.flight import FlightRecorder
-from repro.obs.metrics import (Counter, Histogram, MetricsRegistry)
+from repro.obs.metrics import (Histogram, MetricsRegistry)
 from repro.sched.base import SchedulerRuntime
 from repro.sched.thread_sched import ThreadScheduler
 from repro.sim.engine import Simulator

@@ -7,7 +7,7 @@ from repro.cpu.machine import Machine
 from repro.errors import ConfigError
 from repro.sim.engine import Simulator
 from repro.threads.program import (Acquire, Compute, CtEnd, CtStart,
-                                   Release, Scan, Store)
+                                   Release, Store)
 from repro.workloads.webserver import WebServerSpec, WebServerWorkload
 
 from tests.helpers import tiny_spec

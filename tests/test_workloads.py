@@ -7,7 +7,7 @@ from repro.errors import ConfigError
 from repro.sched.thread_sched import ThreadScheduler
 from repro.sim.engine import Simulator
 from repro.threads.program import (Acquire, Compute, CtEnd, CtStart,
-                                   OpDone, Release, Scan, Store)
+                                   OpDone, Release, Scan)
 from repro.workloads.dirlookup import (DirectoryLookupWorkload,
                                        DirWorkloadSpec)
 from repro.workloads.synthetic import ObjectOpsSpec, ObjectOpsWorkload
