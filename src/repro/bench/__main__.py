@@ -87,6 +87,11 @@ def main(argv=None) -> int:
                              "benchmarks/results/NAME.txt")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the report file paths")
+    parser.add_argument("--verify", action="store_true",
+                        help="attach the repro.verify invariant checker "
+                             "to every simulator the experiment builds "
+                             "(slower; raises InvariantViolation on any "
+                             "internal inconsistency)")
     perf_group = parser.add_argument_group(
         "perf", "options for the 'perf' experiment (simulator kernels "
         "+ benchmark-regression gate; see BENCH_simulator.json)")
@@ -113,6 +118,14 @@ def main(argv=None) -> int:
         return 0
     if args.experiment is None:
         parser.error("experiment is required (or use --list)")
+    if args.verify:
+        # Every Simulator built from here on gets an invariant checker
+        # (experiments construct their own sims, so a construction-time
+        # default is the only seam that reaches all of them).
+        from repro.sim.engine import set_default_checker
+        from repro.verify import InvariantChecker
+        set_default_checker(lambda: InvariantChecker(interval=1024))
+        print("verify: invariant checker attached to every simulator")
     if args.experiment == "perf":
         from repro.bench.perf import main_perf
         return main_perf(args)

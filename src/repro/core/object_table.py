@@ -173,6 +173,15 @@ class ObjectTable:
     def objects(self) -> Iterable[CtObject]:
         return self._objects.values()
 
+    def entries(self) -> Iterable[tuple]:
+        """(CtObject, assigned-core list) pairs for every table entry.
+
+        The invariant checker walks these to confirm the table and the
+        per-object ``assigned_cores`` views never diverge.
+        """
+        return ((self._objects[oid], cores)
+                for oid, cores in self._assignment.items())
+
     def clear(self) -> None:
         for obj in list(self._objects.values()):
             obj.assigned_cores = []

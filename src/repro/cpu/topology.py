@@ -252,6 +252,27 @@ class MachineSpec:
         return spec
 
     @classmethod
+    def tiny(cls, **overrides: object) -> "MachineSpec":
+        """A 2-chip, 2-cores-per-chip machine with very small caches.
+
+        Small enough that capacity effects appear within a few hundred
+        accesses, with the paper's latency structure intact.  This is the
+        one topology factory shared by the test suite
+        (``tests/helpers.tiny_spec``) and the fuzzer
+        (:mod:`repro.verify.fuzz`), so their machine-builder defaults
+        cannot drift apart.
+        """
+        fields = {
+            "name": "tiny", "n_chips": 2, "cores_per_chip": 2,
+            "l1_bytes": 512, "l2_bytes": 2048, "l3_bytes": 8192,
+            "migration_cost": 200, "spin_backoff": 20,
+        }
+        fields.update(overrides)  # type: ignore[arg-type]
+        spec = cls(**fields)  # type: ignore[arg-type]
+        spec.validate()
+        return spec
+
+    @classmethod
     def future(cls, n_chips: int = 8, cores_per_chip: int = 8,
                **overrides: object) -> "MachineSpec":
         """A §6.1 "future multicore": more cores, bigger caches, scarcer

@@ -95,6 +95,11 @@ class SharingDirectory:
     def cached_lines(self) -> Iterable[int]:
         return self._holders.keys()
 
+    def items(self) -> Iterable[tuple]:
+        """(line, holder-set view) pairs — the invariant checker walks
+        these to reconcile the directory against actual cache contents."""
+        return self._holders.items()
+
     def clear(self) -> None:
         """Forget every holder, in place (keeps the dict's identity — the
         memory system's fast path holds a direct reference to it)."""

@@ -561,6 +561,11 @@ class MemorySystem:
 
         Raises :class:`~repro.errors.ConfigError` on violation.
         """
+        for cache in self.l1s + self.l2s + self.l3s:
+            if len(cache) > cache.capacity:
+                raise ConfigError(
+                    f"cache {cache.cache_id}: {len(cache)} lines exceed "
+                    f"capacity {cache.capacity}")
         seen = {}
         for core_id in range(self.spec.n_cores):
             for cache in (self.l1s[core_id], self.l2s[core_id]):

@@ -39,7 +39,8 @@ from typing import Any, Dict, List, Optional
 from repro.obs.bus import EventBus, EventLog
 from repro.obs.events import (ALL_EVENTS, CONTROL_EVENTS, EVENT_KINDS,
                               MEMORY_EVENTS, CacheEvicted, CacheInvalidated,
-                              Event, LockContended, MigrationStarted,
+                              Event, FaultInjected, InvariantViolated,
+                              LockContended, MigrationStarted,
                               ObjectAssigned, ObjectMoved, OperationFinished,
                               OperationStarted, RebalanceRound, RunMarker,
                               SchedDecision, ThreadArrived, ThreadFinished,
@@ -196,7 +197,9 @@ __all__ = [
     "Event",
     "EventBus",
     "EventLog",
+    "FaultInjected",
     "FlightRecorder",
+    "InvariantViolated",
     "Gauge",
     "Histogram",
     "HistogramSummary",

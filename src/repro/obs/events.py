@@ -287,12 +287,48 @@ class LockContended(CoreEvent):
         self.lock = lock
 
 
+class FaultInjected(Event):
+    """The verification layer injected a deterministic fault.
+
+    Published by :class:`repro.verify.faults.FaultPlan` right before it
+    mutates simulator state, so the flight recorder shows exactly what
+    was broken (and when) next to the invariant violation that should
+    follow it in a mutation self-test.
+    """
+
+    __slots__ = ("fault", "detail")
+    kind = "fault"
+
+    def __init__(self, ts: int, fault: str, detail: str) -> None:
+        self.ts = ts
+        self.fault = fault
+        self.detail = detail
+
+
+class InvariantViolated(Event):
+    """A machine-wide invariant failed its periodic check.
+
+    Published by :class:`repro.verify.invariants.InvariantChecker` just
+    before it raises, so the violation itself is the last record in the
+    flight ring that gets drained into the exception.
+    """
+
+    __slots__ = ("rule", "detail")
+    kind = "invariant"
+
+    def __init__(self, ts: int, rule: str, detail: str) -> None:
+        self.ts = ts
+        self.rule = rule
+        self.detail = detail
+
+
 #: Control-plane events: cheap enough to record on every run with
 #: observability enabled (at most a few per operation).
 CONTROL_EVENTS: Tuple[Type[Event], ...] = (
     RunMarker, ThreadSpawned, ThreadFinished, ThreadArrived,
     MigrationStarted, SchedDecision, OperationStarted, OperationFinished,
     ObjectAssigned, ObjectMoved, RebalanceRound, LockContended,
+    FaultInjected, InvariantViolated,
 )
 
 #: Memory-system events: one per eviction/invalidation, far hotter than

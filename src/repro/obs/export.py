@@ -32,10 +32,13 @@ from repro.obs.events import (CacheEvicted, CacheInvalidated, Event,
 SCHEDULER_TRACK = 10_000
 
 #: Version of the JSONL event-stream schema.  Bump when an event gains,
-#: loses or renames a field; the offline analyzer
+#: loses or renames a field, or when a new event kind is added (older
+#: analyzers refuse unknown kinds); the offline analyzer
 #: (:mod:`repro.obs.profile`) refuses streams newer than it understands.
-#: Version 1 streams (PR 1) had no meta line and no attribution fields.
-SCHEMA_VERSION = 2
+#: Version 1 streams (PR 1) had no meta line and no attribution fields;
+#: version 2 added the attribution fields; version 3 added the
+#: verification-layer kinds (``fault``, ``invariant``).
+SCHEMA_VERSION = 3
 
 
 def chrome_trace(events: Sequence[Event],

@@ -46,6 +46,20 @@ class FlightRecorder:
         """Snapshot of the ring, oldest first."""
         return list(self._ring)
 
+    def tail(self, limit: int) -> List[dict]:
+        """Primitive-dict form of the last ``limit`` events, oldest first.
+
+        This is what :class:`~repro.verify.invariants.InvariantViolation`
+        embeds: dicts (not live events) so the exception can outlive the
+        simulator, and at most ``limit`` of them so a violation raised
+        from a big ring stays a reasonably sized object.
+        """
+        if limit <= 0:
+            return []
+        ring = self._ring
+        start = max(0, len(ring) - limit)
+        return [event.as_dict() for event in list(ring)[start:]]
+
     def clear(self) -> None:
         self._ring.clear()
 

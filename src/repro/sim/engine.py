@@ -47,6 +47,21 @@ from repro.threads.thread import Program, SimThread, ThreadState
 _KIND_STEP = 0
 _KIND_ARRIVAL = 1
 
+# Factory consulted when a Simulator is built without an explicit
+# ``checker`` — lets ``repro.bench --verify`` turn invariant checking on
+# for every simulator an experiment constructs without threading a
+# parameter through each figure runner.  The engine only duck-types the
+# result (``bind``/``after_event``), so repro.verify stays un-imported
+# here and no cycle forms.
+_default_checker_factory: Optional[Callable[[], Any]] = None
+
+
+def set_default_checker(factory: Optional[Callable[[], Any]]) -> None:
+    """Install (or clear, with None) a checker factory applied to every
+    subsequently constructed :class:`Simulator`."""
+    global _default_checker_factory
+    _default_checker_factory = factory
+
 # Tuple indices into CounterSnapshot.values for the per-operation
 # attribution deltas published on OperationFinished (tuple indexing beats
 # the snapshot's name-lookup __getattr__ on the obs-enabled hot path).
@@ -94,7 +109,9 @@ class Simulator:
 
     def __init__(self, machine: Machine, scheduler: SchedulerRuntime,
                  tracer: Optional[Tracer] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 checker: Optional[Any] = None,
+                 faults: Optional[Any] = None) -> None:
         self.machine = machine
         self.memory = machine.memory
         # Bound-method handles for the per-item handlers (one attribute
@@ -172,6 +189,18 @@ class Simulator:
                 YieldCore: self._do_yield,
                 OpDone: self._do_op_done,
             }
+        # Verification layer (repro.verify), duck-typed so the engine
+        # never imports it: both objects expose bind(sim) and
+        # after_event(...).  When disabled (the default) the run loop
+        # pays two ``is not None`` tests per event and nothing else.
+        if checker is None and _default_checker_factory is not None:
+            checker = _default_checker_factory()
+        self.checker = checker
+        self.faults = faults
+        if faults is not None:
+            faults.bind(self)
+        if checker is not None:
+            checker.bind(self)
 
     # ------------------------------------------------------------------
     # thread management
@@ -250,6 +279,8 @@ class Simulator:
         heappush = heapq.heappush
         cores = self.machine.cores
         step = self._step
+        checker = self.checker
+        faults = self.faults
         ops_target = (self.total_ops + max_ops) if max_ops else None
         steps_left = max_steps if max_steps is not None else -1
         self._ops_at_run_start = self.total_ops
@@ -282,11 +313,19 @@ class Simulator:
                 core = cores[core_id]
                 core.counters.migrations_in += 1
                 thread.state = ThreadState.READY
+                thread.arrive_at = None
                 self._enqueue_thread(thread, core_id, time)
                 bus = self._bus
                 if bus is not None and bus.wants(ThreadArrived):
                     bus.publish(ThreadArrived(time, core_id, thread.name))
             steps_left -= 1
+            # Verification hooks run *after* the event: faults first (so
+            # an injected bug is live state), then the checker that must
+            # catch it.
+            if faults is not None:
+                faults.after_event(self, time)
+            if checker is not None:
+                checker.after_event(time)
         else:
             if any(not t.done for t in self.threads):
                 raise DeadlockError(
@@ -586,6 +625,7 @@ class Simulator:
             grid = spec.poll_interval
             arrive = ((arrive + grid - 1) // grid) * grid
         thread.wait_cycles += arrive - core.time
+        thread.arrive_at = arrive
         self.total_migrations += 1
         self.memory.interconnect.count_migration(
             core.chip_id, self._spec.chip_of(target))

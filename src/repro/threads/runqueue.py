@@ -31,6 +31,9 @@ class RunQueue:
     def __iter__(self) -> Iterator[SimThread]:
         return iter(self._queue)
 
+    def __contains__(self, thread: SimThread) -> bool:
+        return thread in self._queue
+
     def push(self, thread: SimThread) -> None:
         thread.state = ThreadState.READY
         thread.core = self.core_id

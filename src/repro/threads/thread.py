@@ -34,7 +34,7 @@ class SimThread:
     __slots__ = (
         "tid", "name", "program", "state",
         "home_core", "core",
-        "pending",
+        "pending", "arrive_at",
         "ct_object", "ct_entry_snapshot", "ct_started_at",
         "ct_entry_core", "ct_entry_migrations", "ct_entry_spin",
         "ct_obj_name",
@@ -55,6 +55,10 @@ class SimThread:
         self.core: Optional[int] = None
         #: Item being executed or retried; None means advance the program.
         self.pending: Any = None
+        #: While MIGRATING: the cycle the in-flight context lands at.
+        #: The invariant checker cross-checks this against the heap's
+        #: arrival entry; None whenever the thread is not in flight.
+        self.arrive_at: Optional[int] = None
         #: CoreTime bookkeeping: the object of the operation in progress.
         self.ct_object = None
         #: Counter snapshot taken at ct_start for per-object miss deltas.

@@ -1,0 +1,45 @@
+"""repro.verify — the verification layer.
+
+Three tools that keep the simulator honest (DESIGN.md §9):
+
+* :class:`InvariantChecker` — opt-in machine-wide invariant assertions,
+  hooked into the engine's event loop via
+  ``Simulator(..., checker=InvariantChecker())``; violations raise a
+  structured :class:`InvariantViolation` carrying a bounded
+  flight-recorder dump.
+* :class:`FaultPlan` — seeded, deterministic corruption of live
+  simulator state (drop/delay a migration, evict a line behind the
+  directory's back, corrupt a counter, stall a core), used to prove the
+  checker catches real bugs.
+* the property-based fuzzer (:mod:`repro.verify.fuzz`) — random
+  topology × workload × scheduler cases checked for invariant
+  cleanliness, same-seed determinism and fast-vs-generic memory-path
+  equivalence, with greedy shrinking to a one-command repro:
+  ``python -m repro.verify fuzz --seeds 25``.
+"""
+
+from __future__ import annotations
+
+from repro.verify.faults import EXPECTED_RULE, FAULT_KINDS, FaultPlan
+from repro.verify.fuzz import (FuzzCase, FuzzFailure, check_case,
+                               generate_case, repro_command, run_case,
+                               run_mutation, shrink)
+from repro.verify.invariants import (DEFAULT_RULES, InvariantChecker,
+                                     InvariantViolation)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "EXPECTED_RULE",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FuzzCase",
+    "FuzzFailure",
+    "InvariantChecker",
+    "InvariantViolation",
+    "check_case",
+    "generate_case",
+    "repro_command",
+    "run_case",
+    "run_mutation",
+    "shrink",
+]

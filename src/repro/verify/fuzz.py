@@ -1,0 +1,405 @@
+"""Property-based simulation fuzzing.
+
+``python -m repro.verify fuzz --seeds N`` generates N random
+topology × workload × scheduler combinations and checks three
+properties on each, with the invariant checker attached throughout:
+
+* **no violations or crashes** — a clean run stays clean;
+* **same-seed determinism** — two identical runs produce byte-identical
+  JSONL event streams;
+* **fast/generic differential** — the hand-flattened memory fast path
+  (:meth:`~repro.mem.system.MemorySystem._load_line_fast`) and the
+  generic path produce byte-identical event streams and identical
+  machine counters.
+
+On failure the case is greedily shrunk — fewer objects, smaller caches,
+shorter horizon, simpler scheduler — while the failure reproduces, and
+the CLI prints a single ``python -m repro.verify run --case ...``
+command that replays the minimal case.
+
+Every case is a :class:`FuzzCase`: a flat, JSON-round-trippable record
+of knobs over :meth:`repro.cpu.topology.MachineSpec.tiny` (the same
+factory the test suite's ``tiny_spec`` uses) and
+:class:`~repro.workloads.synthetic.ObjectOpsSpec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+from repro.core.coretime import CoreTimeConfig, CoreTimeScheduler
+from repro.cpu.machine import Machine
+from repro.cpu.topology import MachineSpec
+from repro.errors import ConfigError, SimulationError
+from repro.mem.cache import LRUCache
+from repro.mem.counters import aggregate
+from repro.obs import Observability, events_to_jsonl
+from repro.sched.thread_sched import ThreadScheduler
+from repro.sched.work_stealing import WorkStealingScheduler
+from repro.sim.engine import Simulator
+from repro.sim.rng import make_rng
+from repro.verify.faults import EXPECTED_RULE, FaultPlan
+from repro.verify.invariants import InvariantChecker, InvariantViolation
+from repro.workloads.synthetic import ObjectOpsSpec, ObjectOpsWorkload
+
+SCHEDULERS = ("thread", "work_stealing", "coretime")
+
+
+class _GenericLRU(LRUCache):
+    """Behaviour-identical subclass that defeats the memory system's
+    fast path (its detection is an exact ``type() is LRUCache`` test),
+    forcing every access through the generic code."""
+
+
+def _generic_cache_factory(capacity: int, cache_id: str) -> LRUCache:
+    return _GenericLRU(capacity, cache_id)
+
+
+# ---------------------------------------------------------------------------
+# cases
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FuzzCase:
+    """One fuzzed configuration (flat and JSON-serialisable)."""
+
+    seed: int = 0
+    # -- topology (overrides on MachineSpec.tiny) ----------------------
+    n_chips: int = 2
+    cores_per_chip: int = 2
+    l1_bytes: int = 512
+    l2_bytes: int = 2048
+    l3_bytes: int = 8192
+    migration_cost: int = 200
+    poll_interval: int = 0
+    hetero_cores: bool = False
+    # -- scheduler -----------------------------------------------------
+    scheduler: str = "coretime"
+    packing: str = "first_fit"
+    return_home: bool = True
+    rebalance: bool = True
+    monitor_interval: int = 30_000
+    # -- workload (ObjectOpsSpec) --------------------------------------
+    n_objects: int = 4
+    object_bytes: int = 512
+    think_cycles: int = 50
+    write_fraction: float = 0.0
+    pair_probability: float = 0.0
+    popularity: str = "uniform"
+    with_locks: bool = True
+    # -- run -----------------------------------------------------------
+    horizon: int = 80_000
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        data = json.loads(text)
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown FuzzCase fields {sorted(unknown)}")
+        return cls(**data)
+
+    def replace(self, **changes: Any) -> "FuzzCase":
+        return dataclasses.replace(self, **changes)
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """Deterministically derive one random case from ``seed``."""
+    rng = make_rng(seed, "fuzz-case")
+    n_chips, cores_per_chip = rng.choice(
+        ((1, 2), (1, 4), (2, 1), (2, 2), (2, 4), (4, 2)))
+    scheduler = rng.choice(SCHEDULERS)
+    return FuzzCase(
+        seed=seed,
+        n_chips=n_chips,
+        cores_per_chip=cores_per_chip,
+        l1_bytes=rng.choice((256, 512)),
+        l2_bytes=rng.choice((1024, 2048)),
+        l3_bytes=rng.choice((4096, 8192)),
+        migration_cost=rng.choice((100, 200, 500)),
+        poll_interval=rng.choice((0, 0, 250)),
+        hetero_cores=rng.random() < 0.2,
+        scheduler=scheduler,
+        packing=rng.choice(("first_fit", "balanced", "hash")),
+        return_home=rng.random() < 0.8,
+        rebalance=rng.random() < 0.8,
+        monitor_interval=rng.choice((20_000, 30_000, 50_000)),
+        n_objects=rng.choice((2, 4, 8)),
+        object_bytes=rng.choice((256, 512, 1024)),
+        think_cycles=rng.choice((0, 50, 100)),
+        write_fraction=rng.choice((0.0, 0.2, 0.5)),
+        pair_probability=rng.choice((0.0, 0.0, 0.3)),
+        popularity=rng.choice(("uniform", "zipf")),
+        with_locks=rng.random() < 0.7,
+        horizon=rng.choice((60_000, 100_000, 150_000)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# building and running a case
+# ---------------------------------------------------------------------------
+
+def build_machine(case: FuzzCase,
+                  cache_factory: Optional[Callable] = None) -> Machine:
+    speeds = None
+    if case.hetero_cores:
+        n_cores = case.n_chips * case.cores_per_chip
+        speeds = tuple(2.0 if core % 2 else 1.0 for core in range(n_cores))
+    spec = MachineSpec.tiny(
+        n_chips=case.n_chips, cores_per_chip=case.cores_per_chip,
+        l1_bytes=case.l1_bytes, l2_bytes=case.l2_bytes,
+        l3_bytes=case.l3_bytes, migration_cost=case.migration_cost,
+        poll_interval=case.poll_interval, core_speeds=speeds)
+    if cache_factory is None:
+        return Machine(spec)
+    return Machine(spec, cache_factory=cache_factory)
+
+
+def build_scheduler(case: FuzzCase):
+    if case.scheduler == "thread":
+        return ThreadScheduler()
+    if case.scheduler == "work_stealing":
+        return WorkStealingScheduler()
+    if case.scheduler == "coretime":
+        return CoreTimeScheduler(CoreTimeConfig(
+            monitor_interval=case.monitor_interval,
+            packing=case.packing,
+            return_home=case.return_home,
+            rebalance=case.rebalance))
+    raise ConfigError(f"unknown scheduler {case.scheduler!r}")
+
+
+def workload_spec(case: FuzzCase) -> ObjectOpsSpec:
+    return ObjectOpsSpec(
+        n_objects=case.n_objects, object_bytes=case.object_bytes,
+        think_cycles=case.think_cycles,
+        write_fraction=case.write_fraction,
+        pair_probability=case.pair_probability,
+        popularity=case.popularity, with_locks=case.with_locks,
+        annotated=True, seed=case.seed)
+
+
+def run_case(case: FuzzCase, generic: bool = False,
+             checker: Optional[InvariantChecker] = None,
+             faults: Optional[FaultPlan] = None) -> Tuple[str, dict, Any]:
+    """One full simulation of ``case``.
+
+    Returns ``(jsonl_stream, aggregated_counters, RunResult)``; raises
+    whatever the simulator raises (crash dumps are routed to
+    ``os.devnull`` — the caller owns the reporting).
+    """
+    factory = _generic_cache_factory if generic else None
+    machine = build_machine(case, cache_factory=factory)
+    scheduler = build_scheduler(case)
+    obs = Observability(events=True, metrics=False, flight=256,
+                        capture_memory=True, flight_path=os.devnull)
+    sim = Simulator(machine, scheduler, obs=obs,
+                    checker=checker, faults=faults)
+    workload = ObjectOpsWorkload(machine, workload_spec(case))
+    workload.spawn_all(sim)
+    result = sim.run(until=case.horizon)
+    stream = events_to_jsonl(obs.events())
+    return stream, aggregate(machine.memory.counters), result
+
+
+# ---------------------------------------------------------------------------
+# the property checks
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FuzzFailure:
+    """Why a case failed; ``kind`` is one of ``invariant`` / ``crash`` /
+    ``determinism`` / ``differential`` / ``not_applicable``."""
+
+    kind: str
+    detail: str
+    rule: Optional[str] = None
+
+    def __str__(self) -> str:
+        tag = f"{self.kind}:{self.rule}" if self.rule else self.kind
+        return f"[{tag}] {self.detail}"
+
+
+def _first_diff(a: str, b: str) -> str:
+    for index, (line_a, line_b) in enumerate(zip(a.splitlines(),
+                                                 b.splitlines())):
+        if line_a != line_b:
+            return (f"first divergence at line {index}: "
+                    f"{line_a[:120]!r} != {line_b[:120]!r}")
+    return (f"streams have different lengths "
+            f"({len(a.splitlines())} vs {len(b.splitlines())} lines)")
+
+
+def check_case(case: FuzzCase,
+               inject: Optional[str] = None) -> Optional[FuzzFailure]:
+    """Run every property on ``case``; None means it passed.
+
+    With ``inject`` set, a fault of that kind is injected and the
+    *expected* outcome is an ``invariant`` failure (returned so the
+    caller can shrink and print a repro); a run that survives the
+    injection is reported as ``not_applicable`` (the fault never found a
+    target) — the checker-blind-spot case is covered by the mutation
+    self-test, which controls applicability.
+    """
+    faults = (FaultPlan.single(inject, at_event=100, seed=case.seed)
+              if inject else None)
+    # interval=1 under injection: the checker must observe the broken
+    # state before the simulator heals it (e.g. reloading an evicted
+    # line re-adds the directory entry the fault orphaned).
+    interval = 1 if inject else 128
+    try:
+        stream_a, counters_a, _ = run_case(
+            case, checker=InvariantChecker(interval=interval),
+            faults=faults)
+    except InvariantViolation as exc:
+        return FuzzFailure("invariant", str(exc), rule=exc.rule)
+    except SimulationError as exc:
+        return FuzzFailure("crash", f"{type(exc).__name__}: {exc}")
+    if inject is not None:
+        return FuzzFailure(
+            "not_applicable",
+            f"fault {inject!r} "
+            + ("was injected but tripped nothing"
+               if faults.injected else "never found a target"))
+    try:
+        stream_b, _, _ = run_case(
+            case, checker=InvariantChecker(interval=interval))
+    except SimulationError as exc:
+        return FuzzFailure("crash",
+                           f"rerun: {type(exc).__name__}: {exc}")
+    if stream_a != stream_b:
+        return FuzzFailure("determinism",
+                           "same-seed reruns diverged — "
+                           + _first_diff(stream_a, stream_b))
+    try:
+        stream_c, counters_c, _ = run_case(
+            case, generic=True, checker=InvariantChecker(interval=interval))
+    except SimulationError as exc:
+        return FuzzFailure("crash",
+                           f"generic path: {type(exc).__name__}: {exc}")
+    if stream_a != stream_c:
+        return FuzzFailure("differential",
+                           "fast vs generic event streams diverge — "
+                           + _first_diff(stream_a, stream_c))
+    if counters_a != counters_c:
+        diffs = {name: (counters_a[name], counters_c[name])
+                 for name in counters_a
+                 if counters_a[name] != counters_c.get(name)}
+        return FuzzFailure("differential",
+                           f"fast vs generic counters diverge: {diffs}")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+
+def _shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Progressively simpler variants, most aggressive first."""
+    if case.horizon > 20_000:
+        yield case.replace(horizon=max(20_000, case.horizon // 2))
+    if case.n_objects > 1:
+        yield case.replace(n_objects=max(1, case.n_objects // 2))
+    if case.n_chips > 1:
+        yield case.replace(n_chips=case.n_chips // 2)
+    if case.cores_per_chip > 1:
+        yield case.replace(cores_per_chip=case.cores_per_chip // 2)
+    if case.object_bytes > 64:
+        yield case.replace(object_bytes=max(64, case.object_bytes // 2))
+    if case.scheduler != "thread":
+        yield case.replace(scheduler="thread")
+    if case.write_fraction:
+        yield case.replace(write_fraction=0.0)
+    if case.pair_probability:
+        yield case.replace(pair_probability=0.0)
+    if case.with_locks:
+        yield case.replace(with_locks=False)
+    if case.think_cycles:
+        yield case.replace(think_cycles=0)
+    if case.popularity != "uniform":
+        yield case.replace(popularity="uniform")
+    if case.hetero_cores:
+        yield case.replace(hetero_cores=False)
+    if case.poll_interval:
+        yield case.replace(poll_interval=0)
+    if case.scheduler == "coretime":
+        if case.rebalance:
+            yield case.replace(rebalance=False)
+        if case.packing != "first_fit":
+            yield case.replace(packing="first_fit")
+
+
+def shrink(case: FuzzCase, still_fails: Callable[[FuzzCase], bool],
+           max_attempts: int = 48) -> FuzzCase:
+    """Greedy shrink: adopt any simpler variant that still fails."""
+    current = case
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _shrink_candidates(current):
+            attempts += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current
+
+
+def repro_command(case: FuzzCase, inject: Optional[str] = None) -> str:
+    """The one-liner that replays ``case`` from a fresh checkout."""
+    command = ("PYTHONPATH=src python -m repro.verify run "
+               f"--case '{case.to_json()}'")
+    if inject:
+        command += f" --inject {inject}"
+    return command
+
+
+# ---------------------------------------------------------------------------
+# mutation self-test
+# ---------------------------------------------------------------------------
+
+def run_mutation(kind: str, seed: int = 11) -> InvariantViolation:
+    """Inject one fault of ``kind`` into a migration-heavy simulation
+    and return the :class:`InvariantViolation` it provoked.
+
+    Raises :class:`~repro.errors.SimulationError` if the fault passed
+    silently — the checker has a blind spot — or never applied.  Used by
+    ``python -m repro.verify selftest`` and
+    ``tests/test_verify_faults.py``; the expected rule per kind is
+    :data:`repro.verify.faults.EXPECTED_RULE`.
+    """
+    machine = Machine(MachineSpec.tiny())
+    scheduler = CoreTimeScheduler(CoreTimeConfig(monitor_interval=25_000))
+    obs = Observability(events=True, metrics=False, flight=128,
+                        flight_path=os.devnull)
+    checker = InvariantChecker(interval=1)
+    faults = FaultPlan.single(kind, at_event=60, seed=seed)
+    sim = Simulator(machine, scheduler, obs=obs,
+                    checker=checker, faults=faults)
+    workload = ObjectOpsWorkload(machine, ObjectOpsSpec(
+        n_objects=4, object_bytes=512, think_cycles=0, seed=seed))
+    # Pre-assign objects round-robin so ct_start redirects cross-core
+    # and migrations are continuously in flight (drop/delay targets).
+    for index, obj in enumerate(workload.objects):
+        scheduler.table.assign(obj, index % machine.n_cores)
+    workload.spawn_all(sim)
+    try:
+        sim.run(until=400_000)
+    except InvariantViolation as exc:
+        return exc
+    raise SimulationError(
+        f"fault {kind!r} "
+        + (f"({faults.injected[0][2]}) tripped no invariant — the "
+           f"checker has a blind spot"
+           if faults.injected else "never found a target to corrupt"))

@@ -6,17 +6,10 @@ from repro.cpu.topology import MachineSpec
 
 
 def tiny_spec(**overrides) -> MachineSpec:
-    """A 2-chip, 2-cores-per-chip machine with small caches.
+    """The shared small-machine preset (see :meth:`MachineSpec.tiny`).
 
-    Small enough that capacity effects appear within a few hundred
-    accesses, with the paper's latency structure intact.
+    Thin wrapper kept for import stability: the actual defaults live on
+    the preset so the fuzzer (:mod:`repro.verify.fuzz`) and the test
+    suite build identical machines.
     """
-    fields = dict(
-        name="tiny", n_chips=2, cores_per_chip=2,
-        l1_bytes=512, l2_bytes=2048, l3_bytes=8192,
-        migration_cost=200, spin_backoff=20,
-    )
-    fields.update(overrides)
-    spec = MachineSpec(**fields)
-    spec.validate()
-    return spec
+    return MachineSpec.tiny(**overrides)

@@ -10,6 +10,7 @@ from repro.errors import ProfileError
 from repro.obs import Observability
 from repro.obs.cli import main as analyze_main
 from repro.obs.events import (ALL_EVENTS, CacheEvicted, CacheInvalidated,
+                              FaultInjected, InvariantViolated,
                               LockContended, MigrationStarted,
                               ObjectAssigned, ObjectMoved, OperationFinished,
                               OperationStarted, RebalanceRound, RunMarker,
@@ -45,6 +46,8 @@ SAMPLE_EVENTS = [
     CacheEvicted(2210, 2, "L3", 12389, None),
     CacheInvalidated(2300, 2, 99, 3, "dir:D1"),
     LockContended(2400, 2, "t1", "dirlock:D1"),
+    FaultInjected(2450, "evict_line", "evicted line 7 from L2.1"),
+    InvariantViolated(2460, "residency", "line 7: directory disagrees"),
     ThreadFinished(2500, 2, "t0"),
 ]
 
