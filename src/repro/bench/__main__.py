@@ -72,6 +72,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=None,
                         help="workload RNG seed override (experiments "
                              "that take one)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="shard sweep points over N worker processes "
+                             "(experiments that support it: fig4a/fig4b; "
+                             "default 0 = serial)")
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome/Perfetto trace of every "
                              "simulator run to PATH")
@@ -148,6 +152,13 @@ def main(argv=None) -> int:
                 kwargs["seed"] = args.seed
             else:
                 print(f"[{name}] note: --seed not supported, ignored")
+        if args.workers:
+            if "workers" in supported and not want_obs:
+                kwargs["workers"] = args.workers
+            else:
+                print(f"[{name}] note: --workers not supported here "
+                      "(needs a parallelisable sweep and no obs "
+                      "capture), ignored")
         obs = None
         if want_obs and "obs" in supported:
             obs = Observability(events=want_events)

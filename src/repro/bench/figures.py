@@ -82,7 +82,8 @@ def _profile(profile) -> Profile:
 # ---------------------------------------------------------------------------
 
 def figure_4a(profile="quick", scale: int = BENCH_SCALE,
-              seed: Optional[int] = None, obs=None) -> FigureResult:
+              seed: Optional[int] = None, obs=None,
+              workers: int = 0) -> FigureResult:
     """Resolutions/s vs total data size, uniform popularity (Figure 4a)."""
     prof = _profile(profile)
     machine_spec = MachineSpec.scaled(scale)
@@ -92,7 +93,7 @@ def figure_4a(profile="quick", scale: int = BENCH_SCALE,
     series = sweep(machine_spec, ("thread", "coretime"), workload_specs,
                    warmup_cycles=prof.warmup_cycles,
                    measure_cycles=prof.measure_cycles, xs=xs,
-                   seed=seed, obs=obs)
+                   seed=seed, obs=obs, workers=workers)
     report = figure_report(
         "Figure 4(a): file system benchmark, uniform directory popularity",
         series, x_label="total data size (KB, scaled machine)",
@@ -109,7 +110,7 @@ def figure_4a(profile="quick", scale: int = BENCH_SCALE,
 
 def figure_4b(profile="quick", scale: int = BENCH_SCALE,
               rotate: bool = True, seed: Optional[int] = None,
-              obs=None) -> FigureResult:
+              obs=None, workers: int = 0) -> FigureResult:
     """Resolutions/s vs data size, oscillating active set (Figure 4b)."""
     prof = _profile(profile)
     machine_spec = MachineSpec.scaled(scale)
@@ -123,7 +124,7 @@ def figure_4b(profile="quick", scale: int = BENCH_SCALE,
     series = sweep(machine_spec, ("thread", "coretime"), workload_specs,
                    warmup_cycles=prof.warmup_cycles,
                    measure_cycles=prof.measure_cycles, xs=xs,
-                   seed=seed, obs=obs)
+                   seed=seed, obs=obs, workers=workers)
     report = figure_report(
         "Figure 4(b): file system benchmark, oscillated directory "
         "popularity",

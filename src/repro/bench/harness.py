@@ -149,6 +149,22 @@ class Series:
         raise KeyError(f"no point at x={x} in series {self.label}")
 
 
+def _case_seed(seed: Optional[int], scheduler_name: str,
+               index: int) -> Optional[int]:
+    """Per-point workload seed for a sweep.
+
+    A root ``seed`` fans out into one independent seed per (scheduler,
+    point) through :func:`repro.sim.rng.derive_seed` — the same helper
+    ``repro-sweep`` and ``repro.verify fuzz`` use — so a point's seed
+    depends only on its coordinates, never on execution order or which
+    tool ran it.  None keeps each workload spec's own seed.
+    """
+    if seed is None:
+        return None
+    from repro.sim.rng import derive_seed
+    return derive_seed(seed, scheduler_name, index)
+
+
 def sweep(machine_spec: MachineSpec,
           scheduler_names: Sequence[str],
           workload_specs: Sequence[DirWorkloadSpec],
@@ -158,25 +174,108 @@ def sweep(machine_spec: MachineSpec,
           workload_factory=None,
           schedulers: Optional[Dict[str, SchedulerFactory]] = None,
           seed: Optional[int] = None,
-          obs=None) -> List[Series]:
+          obs=None,
+          workers: int = 0) -> List[Series]:
     """Run every scheduler over every workload spec; returns one
-    :class:`Series` per scheduler, in the order given."""
+    :class:`Series` per scheduler, in the order given.
+
+    ``workers=0`` (the default) evaluates points serially in-process; a
+    :class:`KeyboardInterrupt` then re-raises with the completed points
+    attached as ``exc.partial_series``, so a long interactive sweep never
+    loses finished work.  ``workers=N`` shards the grid over ``N``
+    processes via :mod:`repro.sweep` — identical per-point results —
+    which requires registry-named schedulers and plain directory-lookup
+    workloads (custom ``schedulers`` factories or a ``workload_factory``
+    cannot cross a process boundary; neither can a shared ``obs``
+    pipeline).
+    """
+    if workers:
+        return _sweep_parallel(machine_spec, scheduler_names,
+                               workload_specs, warmup_cycles,
+                               measure_cycles, xs, workload_factory,
+                               schedulers, seed, obs, workers)
     registry = schedulers or SCHEDULERS
     result: List[Series] = []
+    points: List[BenchPoint] = []
+    try:
+        for name in scheduler_names:
+            try:
+                factory = registry[name]
+            except KeyError:
+                raise ConfigError(
+                    f"unknown scheduler {name!r}; "
+                    f"choose from {sorted(registry)}") from None
+            points = []
+            for index, workload_spec in enumerate(workload_specs):
+                x = xs[index] if xs is not None else None
+                points.append(run_point(
+                    machine_spec, factory, workload_spec,
+                    warmup_cycles=warmup_cycles,
+                    measure_cycles=measure_cycles, x=x,
+                    workload_factory=workload_factory,
+                    seed=_case_seed(seed, name, index), obs=obs))
+            result.append(Series(name, points))
+    except KeyboardInterrupt as interrupt:
+        # Flush what finished: completed series plus the partial one, so
+        # callers (and the CLI) can keep hours of completed points.
+        if points:
+            result.append(Series(f"{name} (partial)", points))
+        interrupt.partial_series = result
+        raise
+    return result
+
+
+def _sweep_parallel(machine_spec, scheduler_names, workload_specs,
+                    warmup_cycles, measure_cycles, xs, workload_factory,
+                    schedulers, seed, obs, workers: int) -> List[Series]:
+    """The ``workers>0`` path: shard the grid through repro.sweep."""
+    from repro.errors import ReproError
+    from repro.sweep.runner import RunnerOptions, run_cases
+    from repro.sweep.spec import SweepCase
+    if schedulers is not None or workload_factory is not None:
+        raise ConfigError(
+            "parallel sweep supports registry schedulers and the default "
+            "directory-lookup workload only (factories cannot cross a "
+            "process boundary); use workers=0")
+    if obs is not None:
+        raise ConfigError(
+            "parallel sweep cannot share one observability pipeline; "
+            "use workers=0 for --trace-out/--events-out runs")
     for name in scheduler_names:
-        try:
-            factory = registry[name]
-        except KeyError:
+        if name not in SCHEDULERS:
             raise ConfigError(
                 f"unknown scheduler {name!r}; "
-                f"choose from {sorted(registry)}") from None
-        points = []
+                f"choose from {sorted(SCHEDULERS)}")
+    grid = []        # (scheduler, point index) in result order
+    cases = []
+    for name in scheduler_names:
         for index, workload_spec in enumerate(workload_specs):
-            x = xs[index] if xs is not None else None
-            points.append(run_point(
-                machine_spec, factory, workload_spec,
+            if not isinstance(workload_spec, DirWorkloadSpec):
+                raise ConfigError(
+                    "parallel sweep expects DirWorkloadSpec workloads; "
+                    f"got {type(workload_spec).__name__}")
+            grid.append((name, index))
+            cases.append(SweepCase(
+                machine_label=machine_spec.name,
+                machine=machine_spec,
+                scheduler=name,
+                workload_kind="dirlookup",
+                workload_label=f"w{index}",
+                workload=workload_spec,
+                seed_index=index,
+                seed=_case_seed(seed, name, index),
                 warmup_cycles=warmup_cycles,
-                measure_cycles=measure_cycles, x=x,
-                workload_factory=workload_factory, seed=seed, obs=obs))
-        result.append(Series(name, points))
-    return result
+                measure_cycles=measure_cycles,
+                x=xs[index] if xs is not None else None))
+    outcome = run_cases(cases, options=RunnerOptions(workers=workers))
+    by_coord: Dict = {}
+    for case, (name, index) in zip(cases, grid):
+        record = outcome.records[case.key()]
+        if record is None or record["status"] != "ok":
+            error = record["error"] if record else "never ran"
+            raise ReproError(
+                f"sweep point {name}/{index} failed: {error}")
+        by_coord[(name, index)] = BenchPoint(**record["point"])
+    return [Series(name, [by_coord[(name, index)]
+                          for index in range(len(workload_specs))])
+            for name in scheduler_names]

@@ -43,8 +43,9 @@ from repro.obs.events import (ALL_EVENTS, CONTROL_EVENTS, EVENT_KINDS,
                               LockContended, MigrationStarted,
                               ObjectAssigned, ObjectMoved, OperationFinished,
                               OperationStarted, RebalanceRound, RunMarker,
-                              SchedDecision, ThreadArrived, ThreadFinished,
-                              ThreadSpawned)
+                              SchedDecision, SweepCaseFailed,
+                              SweepCaseFinished, SweepCaseStarted,
+                              ThreadArrived, ThreadFinished, ThreadSpawned)
 from repro.obs.export import (SCHEMA_VERSION, ascii_timeline, chrome_trace,
                               events_to_jsonl, write_chrome_trace,
                               write_jsonl)
@@ -214,6 +215,9 @@ __all__ = [
     "RebalanceRound",
     "RunMarker",
     "SchedDecision",
+    "SweepCaseFailed",
+    "SweepCaseFinished",
+    "SweepCaseStarted",
     "ThreadArrived",
     "ThreadFinished",
     "ThreadSpawned",

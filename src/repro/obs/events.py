@@ -305,6 +305,57 @@ class FaultInjected(Event):
         self.detail = detail
 
 
+class SweepCaseStarted(Event):
+    """repro.sweep dispatched one grid cell to a worker.
+
+    ``ts`` is the dispatch sequence number, not a simulated cycle — a
+    sweep spans many simulators with unrelated clocks, so the only
+    meaningful order is dispatch order (deterministic for ``workers=0``).
+    """
+
+    __slots__ = ("case", "scheduler", "workload", "seed")
+    kind = "sweep_start"
+
+    def __init__(self, ts: int, case: str, scheduler: str, workload: str,
+                 seed: Optional[int]) -> None:
+        self.ts = ts
+        self.case = case
+        self.scheduler = scheduler
+        self.workload = workload
+        self.seed = seed
+
+
+class SweepCaseFinished(Event):
+    """One grid cell completed; ``kops`` is its measured throughput."""
+
+    __slots__ = ("case", "scheduler", "workload", "kops", "cached")
+    kind = "sweep_end"
+
+    def __init__(self, ts: int, case: str, scheduler: str, workload: str,
+                 kops: float, cached: bool = False) -> None:
+        self.ts = ts
+        self.case = case
+        self.scheduler = scheduler
+        self.workload = workload
+        self.kops = kops
+        self.cached = cached
+
+
+class SweepCaseFailed(Event):
+    """One grid cell crashed, timed out or raised; the sweep continues."""
+
+    __slots__ = ("case", "scheduler", "workload", "error")
+    kind = "sweep_fail"
+
+    def __init__(self, ts: int, case: str, scheduler: str, workload: str,
+                 error: str) -> None:
+        self.ts = ts
+        self.case = case
+        self.scheduler = scheduler
+        self.workload = workload
+        self.error = error
+
+
 class InvariantViolated(Event):
     """A machine-wide invariant failed its periodic check.
 
@@ -329,6 +380,7 @@ CONTROL_EVENTS: Tuple[Type[Event], ...] = (
     MigrationStarted, SchedDecision, OperationStarted, OperationFinished,
     ObjectAssigned, ObjectMoved, RebalanceRound, LockContended,
     FaultInjected, InvariantViolated,
+    SweepCaseStarted, SweepCaseFinished, SweepCaseFailed,
 )
 
 #: Memory-system events: one per eviction/invalidation, far hotter than

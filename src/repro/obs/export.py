@@ -37,8 +37,10 @@ SCHEDULER_TRACK = 10_000
 #: (:mod:`repro.obs.profile`) refuses streams newer than it understands.
 #: Version 1 streams (PR 1) had no meta line and no attribution fields;
 #: version 2 added the attribution fields; version 3 added the
-#: verification-layer kinds (``fault``, ``invariant``).
-SCHEMA_VERSION = 3
+#: verification-layer kinds (``fault``, ``invariant``); version 4 added
+#: the sweep-orchestration kinds (``sweep_start``, ``sweep_end``,
+#: ``sweep_fail``).
+SCHEMA_VERSION = 4
 
 
 def chrome_trace(events: Sequence[Event],

@@ -24,3 +24,18 @@ def stream_seed(seed: int, *labels: Key) -> int:
 def make_rng(seed: int, *labels: Key) -> random.Random:
     """Independent :class:`random.Random` for the labelled stream."""
     return random.Random(stream_seed(seed, *labels))
+
+
+def derive_seed(root: int, *axes: Key) -> int:
+    """The canonical per-case seed for experiment grids.
+
+    Every layer that expands one root seed into many per-case seeds —
+    ``repro-sweep`` cells, ``repro.bench --seed`` sweeps and
+    ``repro.verify fuzz`` cases — must derive them through this one
+    helper so a case's seed depends only on (root, axis labels), never
+    on expansion order, process boundaries or which tool ran it.  The
+    derivation is :func:`stream_seed` (SHA-256 of the colon-joined
+    labels); ``tests/test_sweep.py`` pins exact values so it cannot
+    drift silently.
+    """
+    return stream_seed(root, *axes)

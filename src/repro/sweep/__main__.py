@@ -1,0 +1,8 @@
+"""``python -m repro.sweep`` — alias for the ``repro-sweep`` script."""
+
+import sys
+
+from repro.sweep.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,268 @@
+"""``repro-sweep`` — run, resume and report experiment sweeps.
+
+Quick tour::
+
+    repro-sweep run fig4a --workers 8 --seeds 3
+        Expand the fig4a preset into its grid and shard it over 8
+        worker processes; results land under
+        benchmarks/results/sweeps/fig4a/.
+
+    repro-sweep run smoke --stop-after 3 --out /tmp/sw
+    repro-sweep resume /tmp/sw --workers 4
+        A killed (or deliberately stopped) run resumes from its journal
+        and content-addressed cells; finished cells are never recomputed
+        as long as the repro sources are unchanged.
+
+    repro-sweep status /tmp/sw
+        Cells: done / failed / stale (computed under different code) /
+        pending, plus the last journal entry.
+
+    repro-sweep report /tmp/sw -o report.txt --events-out sweep.jsonl
+        Per-cell statistics (mean, 95% CI, p50/p95 over seeds), A/B
+        scheduler tables, failure list; the JSONL export is a
+        schema-v4 obs event stream repro-analyze can ingest.
+
+    repro-sweep diff /tmp/base /tmp/cand
+        Cell-by-cell mean deltas between two sweeps (two commits, two
+        machines, two configs), flagging CI-separated changes.
+
+Exit codes: 0 success, 1 usage/failed cells, 3 stopped early
+(``--stop-after`` hit before the grid finished).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.sweep.aggregate import (export_events_jsonl, fold_records,
+                                   diff_cells, render_report)
+from repro.sweep.presets import PRESETS
+from repro.sweep.runner import RunnerOptions, run_sweep
+from repro.sweep.spec import SweepSpec, code_fingerprint
+from repro.sweep.store import ResultStore, default_sweep_root
+
+
+def _store_for(args_out: Optional[str], name: str) -> ResultStore:
+    root = Path(args_out) if args_out else default_sweep_root() / name
+    return ResultStore(root)
+
+
+def _runner_options(args) -> RunnerOptions:
+    workers = args.workers
+    if workers is None:
+        workers = os.cpu_count() or 1
+    options = RunnerOptions(
+        workers=workers, timeout_s=args.timeout, retries=args.retries,
+        verify=args.verify, stop_after=args.stop_after)
+    options.validate()
+    return options
+
+
+def _progress(quiet: bool):
+    if quiet:
+        return lambda message: None
+    return lambda message: print(f"  {message}")
+
+
+def _records_in_grid_order(store: ResultStore, spec: SweepSpec) -> list:
+    return [store.get(case.key()) for case in spec.expand()]
+
+
+def _finish(store: ResultStore, spec: SweepSpec, outcome,
+            args) -> int:
+    print(f"sweep {spec.name}: {outcome.computed} computed, "
+          f"{outcome.cached} cached, {outcome.failed} failed, "
+          f"{outcome.remaining} remaining "
+          f"({outcome.elapsed_s:.1f}s wall)")
+    if getattr(args, "events_out", None):
+        records = _records_in_grid_order(store, spec)
+        export_events_jsonl(args.events_out, records)
+        print(f"events -> {args.events_out}")
+    if outcome.stopped:
+        print("stopped early (--stop-after); run `repro-sweep resume "
+              f"{store.root}` to finish")
+        return 3
+    if outcome.failed:
+        return 1
+    if not getattr(args, "quiet", False) and outcome.remaining == 0:
+        records = _records_in_grid_order(store, spec)
+        print()
+        print(render_report(spec.name, records, spec.schedulers))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        preset = PRESETS[args.preset]
+    except KeyError:
+        print(f"unknown preset {args.preset!r}; "
+              f"choose from {sorted(PRESETS)}", file=sys.stderr)
+        return 1
+    kwargs = {}
+    if args.seeds is not None:
+        kwargs["n_seeds"] = args.seeds
+    if args.seed is not None:
+        kwargs["root_seed"] = args.seed
+    spec = preset(**kwargs)
+    store = _store_for(args.out, spec.name)
+    if store.exists():
+        stored = store.load_spec()
+        if stored.as_dict() != spec.as_dict():
+            print(f"{store.root} holds a different sweep "
+                  f"({stored.name}); pass a fresh --out directory "
+                  "or resume it instead", file=sys.stderr)
+            return 1
+    else:
+        store.create(spec)
+    with store:
+        outcome = run_sweep(spec, store, _runner_options(args),
+                            progress=_progress(args.quiet))
+        return _finish(store, spec, outcome, args)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    store = ResultStore(args.dir)
+    spec = store.load_spec()
+    with store:
+        outcome = run_sweep(spec, store, _runner_options(args),
+                            progress=_progress(args.quiet))
+        return _finish(store, spec, outcome, args)
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    store = ResultStore(args.dir)
+    spec = store.load_spec()
+    counts = store.status(fingerprint=code_fingerprint())
+    print(f"sweep {spec.name} at {store.root}")
+    print(f"  cells: {counts['ok']} ok, {counts['failed']} failed, "
+          f"{counts['stale']} stale, {counts['pending']} pending "
+          f"(of {counts['total']})")
+    entries = store.journal_entries()
+    if entries:
+        last = entries[-1]
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(last.items())
+                           if k != "event")
+        print(f"  journal: {len(entries)} entries, "
+              f"last = {last['event']} ({detail})")
+    return 0 if counts["pending"] == 0 and counts["failed"] == 0 else 3
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.dir)
+    spec = store.load_spec()
+    records = _records_in_grid_order(store, spec)
+    text = render_report(spec.name, records, spec.schedulers)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"report -> {args.out}")
+    else:
+        print(text)
+    if args.events_out:
+        export_events_jsonl(args.events_out, records)
+        print(f"events -> {args.events_out}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    base_store = ResultStore(args.baseline)
+    cand_store = ResultStore(args.candidate)
+    base_cells = fold_records(
+        _records_in_grid_order(base_store, base_store.load_spec()))
+    cand_cells = fold_records(
+        _records_in_grid_order(cand_store, cand_store.load_spec()))
+    print(diff_cells(base_cells, cand_cells))
+    return 0
+
+
+def _add_exec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: host cores; "
+                             "0 = serial, in-process)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-case wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="extra attempts after a crash/timeout "
+                             "(default 1)")
+    parser.add_argument("--verify", action="store_true",
+                        help="attach the repro.verify invariant checker "
+                             "inside every worker")
+    parser.add_argument("--stop-after", type=int, default=None,
+                        help="stop dispatching after N computed cases "
+                             "(simulates a killed run; resume finishes)")
+    parser.add_argument("--events-out", metavar="PATH", default=None,
+                        help="write the sweep as a schema-v4 obs event "
+                             "stream (JSONL)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress and the final "
+                             "report")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Parallel, resumable experiment sweeps with "
+                    "content-addressed result caching.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a preset sweep (see `run --help` for presets)")
+    run.add_argument("preset", choices=sorted(PRESETS),
+                     help="which grid to run")
+    run.add_argument("--out", metavar="DIR", default=None,
+                     help="result-store directory (default: "
+                          "benchmarks/results/sweeps/<preset>)")
+    run.add_argument("--seeds", type=int, default=None,
+                     help="seeds per cell (overrides the preset)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="root seed; per-cell seeds derive from it via "
+                          "repro.sim.rng.derive_seed")
+    _add_exec_options(run)
+    run.set_defaults(func=cmd_run)
+
+    resume = sub.add_parser(
+        "resume", help="continue a killed or stopped sweep from its "
+                       "store directory")
+    resume.add_argument("dir", help="sweep store directory")
+    _add_exec_options(resume)
+    resume.set_defaults(func=cmd_resume)
+
+    status = sub.add_parser(
+        "status", help="cell counts and journal tail for a sweep store")
+    status.add_argument("dir", help="sweep store directory")
+    status.set_defaults(func=cmd_status)
+
+    report = sub.add_parser(
+        "report", help="statistics + A/B tables for a sweep store")
+    report.add_argument("dir", help="sweep store directory")
+    report.add_argument("-o", "--out", default=None,
+                        help="write the report to a file")
+    report.add_argument("--events-out", metavar="PATH", default=None,
+                        help="also export the schema-v4 JSONL stream")
+    report.set_defaults(func=cmd_report)
+
+    diff = sub.add_parser(
+        "diff", help="cell-by-cell mean deltas between two sweep stores")
+    diff.add_argument("baseline", help="baseline sweep store directory")
+    diff.add_argument("candidate", help="candidate sweep store directory")
+    diff.set_defaults(func=cmd_diff)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted — `repro-sweep resume` continues from the "
+              "journal", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Built-in sweep grids for the paper's figures and CI smoke tests.
+
+Each preset is a function returning a fresh :class:`SweepSpec`; the CLI
+exposes them as ``repro-sweep run <name>``.  ``--seeds``/``--seed``
+override the seed axis without editing code, so the same grid scales
+from a one-seed sanity pass to the multi-seed matrices the comparison
+tables want.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cpu.topology import MachineSpec
+from repro.sweep.spec import MachineAxis, SweepSpec, WorkloadAxis
+from repro.workloads.dirlookup import DirWorkloadSpec
+from repro.workloads.webserver import WebServerSpec
+
+#: Default root seed for presets (any integer works; fixed so two hosts
+#: computing the same preset produce the same cells).
+PRESET_ROOT_SEED = 42
+
+
+def _dir_axis(label: str, spec: DirWorkloadSpec) -> WorkloadAxis:
+    return WorkloadAxis(label, "dirlookup", spec,
+                        x=spec.total_data_bytes / 1024)
+
+
+def smoke(n_seeds: int = 2,
+          root_seed: Optional[int] = PRESET_ROOT_SEED) -> SweepSpec:
+    """2 schedulers x 2 workloads x 2 seeds on ``MachineSpec.tiny()``.
+
+    Small enough to finish in seconds; the CI sweep-smoke job runs it,
+    kills it mid-run, and asserts ``repro-sweep resume`` completes with
+    the finished cells cached.
+    """
+    tiny = MachineSpec.tiny()
+    workloads = tuple(
+        _dir_axis(f"dirs{n}", DirWorkloadSpec(
+            n_dirs=n, files_per_dir=32, cluster_bytes=512,
+            think_cycles=10, threads_per_core=2))
+        for n in (4, 12))
+    return SweepSpec(
+        name="smoke",
+        machines=(MachineAxis("tiny", tiny),),
+        schedulers=("thread", "coretime"),
+        workloads=workloads,
+        n_seeds=n_seeds, root_seed=root_seed,
+        warmup_cycles=30_000, measure_cycles=60_000)
+
+
+def fig2(n_seeds: int = 2,
+         root_seed: Optional[int] = PRESET_ROOT_SEED) -> SweepSpec:
+    """Thread vs CoreTime on the Figure 2 machine across data sizes.
+
+    The single-chip four-core geometry of the paper's Figure 2 (a core's
+    private caches hold ~3 directories, the shared L3 ~8), swept over
+    directory counts spanning fits-in-private to exceeds-on-chip.
+    """
+    machine = MachineSpec(
+        name="fig2-4core", n_chips=1, cores_per_chip=4,
+        l1_bytes=2048, l2_bytes=12 * 1024, l3_bytes=32 * 1024,
+        migration_cost=250)
+    workloads = tuple(
+        _dir_axis(f"dirs{n}", DirWorkloadSpec(
+            n_dirs=n, files_per_dir=128, cluster_bytes=512,
+            think_cycles=12, threads_per_core=4))
+        for n in (8, 20, 32))
+    return SweepSpec(
+        name="fig2",
+        machines=(MachineAxis("fig2-4core", machine),),
+        schedulers=("thread", "coretime"),
+        workloads=workloads,
+        n_seeds=n_seeds, root_seed=root_seed,
+        warmup_cycles=1_000_000, measure_cycles=1_500_000)
+
+
+def fig4a(n_seeds: int = 3,
+          root_seed: Optional[int] = PRESET_ROOT_SEED) -> SweepSpec:
+    """Figure 4(a)'s quick-profile matrix with a real seed axis."""
+    machine = MachineSpec.scaled(8)
+    workloads = tuple(
+        _dir_axis(f"dirs{n}", DirWorkloadSpec.scaled(8, n_dirs=n))
+        for n in (16, 64, 160, 320, 512))
+    return SweepSpec(
+        name="fig4a",
+        machines=(MachineAxis("amd16-scaled8", machine),),
+        schedulers=("thread", "coretime"),
+        workloads=workloads,
+        n_seeds=n_seeds, root_seed=root_seed,
+        warmup_cycles=1_500_000, measure_cycles=1_500_000)
+
+
+def fig4b(n_seeds: int = 3,
+          root_seed: Optional[int] = PRESET_ROOT_SEED) -> SweepSpec:
+    """Figure 4(b): the oscillating-popularity matrix."""
+    machine = MachineSpec.scaled(8)
+    workloads = tuple(
+        _dir_axis(f"dirs{n}", DirWorkloadSpec.scaled(
+            8, n_dirs=n, popularity="oscillating",
+            oscillation_period=1_000_000, oscillation_rotate=True))
+        for n in (16, 64, 160, 320, 512))
+    return SweepSpec(
+        name="fig4b",
+        machines=(MachineAxis("amd16-scaled8", machine),),
+        schedulers=("thread", "coretime"),
+        workloads=workloads,
+        n_seeds=n_seeds, root_seed=root_seed,
+        warmup_cycles=1_500_000, measure_cycles=1_500_000)
+
+
+def web(n_seeds: int = 3,
+        root_seed: Optional[int] = PRESET_ROOT_SEED) -> SweepSpec:
+    """The web-server workload (paper's motivating app) as a sweep axis."""
+    machine = MachineSpec.scaled(8)
+    workloads = tuple(
+        WorkloadAxis(f"dirs{n}", "webserver",
+                     WebServerSpec(n_dirs=n, files_per_dir=64),
+                     x=float(n))
+        for n in (16, 64))
+    return SweepSpec(
+        name="web",
+        machines=(MachineAxis("amd16-scaled8", machine),),
+        schedulers=("thread", "coretime"),
+        workloads=workloads,
+        n_seeds=n_seeds, root_seed=root_seed,
+        warmup_cycles=1_000_000, measure_cycles=1_500_000)
+
+
+PRESETS: Dict[str, Callable[..., SweepSpec]] = {
+    "smoke": smoke,
+    "fig2": fig2,
+    "fig4a": fig4a,
+    "fig4b": fig4b,
+    "web": web,
+}

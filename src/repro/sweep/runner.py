@@ -1,0 +1,422 @@
+"""Sweep execution: serial and multiprocessing case runners.
+
+One case is one :func:`repro.bench.harness.run_point` call described by
+a :class:`~repro.sweep.spec.SweepCase`.  :func:`execute_case_record`
+runs it and always returns a store record — a simulator exception
+becomes a ``failed`` record carrying the case's flight-recorder tail,
+never an escaped exception — so a bad cell can never take down a sweep.
+
+:func:`run_sweep` drives a whole grid:
+
+* cells whose ``(case key, code fingerprint)`` already sit in the store
+  are skipped (that is what makes ``repro-sweep resume`` free);
+* ``workers=0`` runs in-process, in deterministic grid order;
+* ``workers=N`` shards cases over ``N`` single-case worker processes
+  with a per-case timeout and bounded retry.  A worker that crashes or
+  hangs is terminated and its case retried; after ``retries`` extra
+  attempts the case is recorded as failed and the sweep moves on.
+
+Results are byte-identical between the serial and parallel paths: a
+case is executed by the same function either way, records carry only
+deterministic fields, and wall-clock data goes to the journal instead.
+Progress is observable live through ``SweepCaseStarted`` /
+``SweepCaseFinished`` / ``SweepCaseFailed`` events on an attached
+:class:`~repro.obs.Observability` bus (``ts`` is the dispatch sequence
+number — sweeps span many simulators with unrelated clocks).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.obs import (Observability, SweepCaseFailed, SweepCaseFinished,
+                       SweepCaseStarted)
+from repro.sweep.spec import SweepCase, SweepSpec, code_fingerprint
+from repro.sweep.store import ResultStore, make_record
+
+#: Events kept from a failing case's flight recorder.
+FLIGHT_TAIL = 64
+
+
+@dataclass
+class RunnerOptions:
+    """Execution policy for one sweep run."""
+
+    workers: int = 0
+    #: Per-case wall-clock budget in seconds (None = unlimited).
+    timeout_s: Optional[float] = None
+    #: Extra attempts after a crash or timeout (deterministic simulator
+    #: failures are not retried — they would fail identically).
+    retries: int = 1
+    #: Attach the repro.verify invariant checker inside each worker.
+    verify: bool = False
+    #: Flight-recorder ring size for failure evidence (0 disables).
+    flight: int = 256
+    #: Stop dispatching after this many newly-computed cases (used by the
+    #: CI smoke job and tests to simulate a killed run deterministically).
+    stop_after: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.workers < 0:
+            raise ConfigError("workers must be >= 0")
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError("timeout must be positive")
+
+
+@dataclass
+class SweepOutcome:
+    """What one :func:`run_sweep` call did."""
+
+    records: Dict[str, dict]             # case key -> record
+    computed: int = 0
+    cached: int = 0
+    failed: int = 0
+    stopped: bool = False                # stop_after hit before the end
+    elapsed_s: float = 0.0
+
+    @property
+    def remaining(self) -> int:
+        return sum(1 for r in self.records.values() if r is None)
+
+
+def _scheduler_factory(name: str):
+    from repro.bench.harness import SCHEDULERS
+    try:
+        return SCHEDULERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; "
+            f"choose from {sorted(SCHEDULERS)}") from None
+
+
+def _workload_factory(kind: str):
+    """``run_point``-compatible factory for a workload kind (None means
+    run_point's default, the directory-lookup workload)."""
+    if kind == "dirlookup":
+        return None
+    if kind == "synthetic":
+        from repro.workloads.synthetic import ObjectOpsWorkload
+        return lambda machine, spec: ObjectOpsWorkload(machine, spec)
+    if kind == "webserver":
+        from repro.workloads.webserver import WebServerWorkload
+        return lambda machine, spec: WebServerWorkload(machine, spec)
+    raise ConfigError(f"unknown workload kind {kind!r}")
+
+
+def execute_case(case: SweepCase, obs=None):
+    """Run one case and return its :class:`BenchPoint` (raises on error)."""
+    from repro.bench.harness import run_point
+    return run_point(
+        case.machine, _scheduler_factory(case.scheduler), case.workload,
+        warmup_cycles=case.warmup_cycles,
+        measure_cycles=case.measure_cycles,
+        x=case.x, workload_factory=_workload_factory(case.workload_kind),
+        seed=case.seed, obs=obs)
+
+
+def execute_case_record(case: SweepCase, fingerprint: str,
+                        verify: bool = False, flight: int = FLIGHT_TAIL,
+                        case_key: Optional[str] = None) -> dict:
+    """Run one case to a store record, absorbing simulator failures.
+
+    The record is deterministic: same case + same code -> same bytes,
+    whether computed serially, by a pool worker, or in a resumed run.
+    """
+    import dataclasses as _dc
+    key = case_key if case_key is not None else case.key()
+    previous_checker = None
+    if verify:
+        from repro.sim import engine
+        from repro.verify import InvariantChecker
+        previous_checker = engine._default_checker_factory
+        engine.set_default_checker(lambda: InvariantChecker(interval=2048))
+    obs = (Observability(events=False, metrics=False, flight=flight)
+           if flight > 0 else None)
+    try:
+        point = execute_case(case, obs=obs)
+        return make_record(key, case.as_dict(), fingerprint, "ok",
+                           point=_dc.asdict(point))
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        tail = (obs.flight.tail(FLIGHT_TAIL)
+                if obs is not None and obs.flight is not None else None)
+        error = f"{type(exc).__name__}: {exc}"
+        return make_record(key, case.as_dict(), fingerprint, "failed",
+                           error=error, flight=tail)
+    finally:
+        if verify:
+            from repro.sim import engine
+            engine.set_default_checker(previous_checker)
+
+
+# ---------------------------------------------------------------------------
+# worker process entry point
+# ---------------------------------------------------------------------------
+
+def _worker_main(case_dict: dict, case_key: str, fingerprint: str,
+                 verify: bool, flight: int, conn) -> None:
+    """Child-process body: compute one case, send the record, exit."""
+    try:
+        case = SweepCase.from_dict(case_dict)
+        record = execute_case_record(case, fingerprint, verify=verify,
+                                     flight=flight, case_key=case_key)
+    except BaseException as exc:   # truly unexpected: report, don't hang
+        record = make_record(case_key, case_dict, fingerprint, "failed",
+                             error=f"worker error: "
+                                   f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(record)
+    finally:
+        conn.close()
+
+
+@dataclass
+class _InFlight:
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    case: SweepCase
+    case_key: str
+    attempt: int
+    started_at: float = field(default_factory=time.monotonic)
+
+
+# ---------------------------------------------------------------------------
+# the sweep driver
+# ---------------------------------------------------------------------------
+
+def run_sweep(spec: SweepSpec, store: Optional[ResultStore] = None,
+              options: Optional[RunnerOptions] = None,
+              obs: Optional[Observability] = None,
+              progress: Optional[Callable[[str], None]] = None,
+              fingerprint: Optional[str] = None) -> SweepOutcome:
+    """Run (or resume) every case of ``spec``, returning all records.
+
+    With a ``store``, finished cells are read from / written to disk and
+    every transition is journalled; without one, results stay in memory.
+    """
+    return run_cases(spec.expand(), store=store, options=options,
+                     obs=obs, progress=progress, fingerprint=fingerprint)
+
+
+def run_cases(cases: List[SweepCase],
+              store: Optional[ResultStore] = None,
+              options: Optional[RunnerOptions] = None,
+              obs: Optional[Observability] = None,
+              progress: Optional[Callable[[str], None]] = None,
+              fingerprint: Optional[str] = None) -> SweepOutcome:
+    """Run an explicit case list (what ``bench.harness.sweep`` feeds in
+    when it shards a figure's grid over workers)."""
+    options = options or RunnerOptions()
+    options.validate()
+    keys = [case.key() for case in cases]
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    say = progress if progress is not None else (lambda message: None)
+
+    outcome = SweepOutcome(records={key: None for key in keys})
+    seq = 0                      # dispatch sequence, the obs timestamp
+    bus = obs.bus if obs is not None else None
+
+    todo: List[tuple] = []
+    for case, key in zip(cases, keys):
+        record = store.get(key, fingerprint) if store is not None else None
+        if record is not None:
+            outcome.records[key] = record
+            outcome.cached += 1
+            if store is not None:
+                store.journal("cached", case=key,
+                              label=case.describe())
+            if bus is not None and bus.wants(SweepCaseFinished):
+                kops = (record["point"]["kops_per_sec"]
+                        if record["status"] == "ok" else 0.0)
+                bus.publish(SweepCaseFinished(
+                    seq, key, case.scheduler, case.workload_label,
+                    kops, cached=True))
+            seq += 1
+        else:
+            todo.append((case, key))
+    if outcome.cached:
+        say(f"{outcome.cached} cached cell(s) skipped")
+
+    started = time.monotonic()
+
+    def finalize(case: SweepCase, key: str, record: dict,
+                 elapsed: float, attempt: int) -> None:
+        nonlocal seq
+        outcome.records[key] = record
+        outcome.computed += 1
+        if record["status"] == "ok":
+            kops = record["point"]["kops_per_sec"]
+            say(f"done {case.describe()}  {kops:,.0f} kops/s")
+        else:
+            outcome.failed += 1
+            say(f"FAILED {case.describe()}: {record['error']}")
+        if store is not None:
+            store.put(record)
+            store.journal("finished" if record["status"] == "ok"
+                          else "failed",
+                          case=key, label=case.describe(),
+                          elapsed_s=round(elapsed, 3), attempt=attempt)
+        if bus is not None:
+            if record["status"] == "ok" \
+                    and bus.wants(SweepCaseFinished):
+                bus.publish(SweepCaseFinished(
+                    seq, key, case.scheduler, case.workload_label,
+                    record["point"]["kops_per_sec"]))
+            elif record["status"] == "failed" \
+                    and bus.wants(SweepCaseFailed):
+                bus.publish(SweepCaseFailed(
+                    seq, key, case.scheduler, case.workload_label,
+                    record["error"] or "unknown"))
+        seq += 1
+
+    def announce(case: SweepCase, key: str) -> None:
+        nonlocal seq
+        if store is not None:
+            store.journal("started", case=key, label=case.describe())
+        if bus is not None and bus.wants(SweepCaseStarted):
+            bus.publish(SweepCaseStarted(seq, key, case.scheduler,
+                                         case.workload_label, case.seed))
+        seq += 1
+
+    try:
+        if options.workers == 0:
+            _run_serial(todo, options, fingerprint, announce, finalize,
+                        outcome)
+        else:
+            _run_pool(todo, options, fingerprint, announce, finalize,
+                      outcome, say)
+    except KeyboardInterrupt:
+        if store is not None:
+            store.journal("interrupted",
+                          computed=outcome.computed,
+                          remaining=outcome.remaining)
+        raise
+    finally:
+        outcome.elapsed_s = time.monotonic() - started
+    if outcome.stopped and store is not None:
+        store.journal("interrupted", computed=outcome.computed,
+                      remaining=outcome.remaining)
+    return outcome
+
+
+def _run_serial(todo, options: RunnerOptions, fingerprint: str,
+                announce, finalize, outcome: SweepOutcome) -> None:
+    for case, key in todo:
+        if options.stop_after is not None \
+                and outcome.computed >= options.stop_after:
+            outcome.stopped = True
+            return
+        announce(case, key)
+        case_started = time.monotonic()
+        record = execute_case_record(case, fingerprint,
+                                     verify=options.verify,
+                                     flight=options.flight, case_key=key)
+        finalize(case, key, record,
+                 time.monotonic() - case_started, attempt=1)
+
+
+def _pool_context():
+    """fork where the platform has it (cheap), spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
+
+
+def _run_pool(todo, options: RunnerOptions, fingerprint: str,
+              announce, finalize, outcome: SweepOutcome, say) -> None:
+    ctx = _pool_context()
+    pending = deque(todo)                # (case, key) tuples
+    attempts: Dict[str, int] = {}
+    inflight: Dict[int, _InFlight] = {}  # keyed by connection fd
+
+    def dispatch(case: SweepCase, key: str) -> None:
+        attempt = attempts.get(key, 0) + 1
+        attempts[key] = attempt
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(case.as_dict(), key, fingerprint, options.verify,
+                  options.flight, child_conn),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        if attempt == 1:
+            announce(case, key)
+        inflight[parent_conn.fileno()] = _InFlight(
+            process, parent_conn, case, key, attempt)
+
+    def give_up(flight: _InFlight, reason: str) -> None:
+        """Retry a crashed/hung case, or record it as failed."""
+        if flight.attempt <= options.retries:
+            say(f"retrying {flight.case.describe()} ({reason})")
+            pending.appendleft((flight.case, flight.case_key))
+            return
+        record = make_record(flight.case_key, flight.case.as_dict(),
+                             fingerprint, "failed", error=reason)
+        finalize(flight.case, flight.case_key, record,
+                 time.monotonic() - flight.started_at, flight.attempt)
+
+    def reap(flight: _InFlight, record: Optional[dict]) -> None:
+        del inflight[flight.conn.fileno()]
+        flight.conn.close()
+        flight.process.join()
+        if record is not None:
+            finalize(flight.case, flight.case_key, record,
+                     time.monotonic() - flight.started_at, flight.attempt)
+        else:
+            code = flight.process.exitcode
+            give_up(flight, f"worker crashed (exit code {code})")
+
+    try:
+        while pending or inflight:
+            stop = (options.stop_after is not None
+                    and outcome.computed
+                    + len(inflight) >= options.stop_after)
+            while pending and len(inflight) < options.workers and not stop:
+                case, key = pending.popleft()
+                dispatch(case, key)
+                stop = (options.stop_after is not None
+                        and outcome.computed
+                        + len(inflight) >= options.stop_after)
+            if not inflight:
+                if stop and pending:
+                    outcome.stopped = True
+                    return
+                continue
+            ready = connection_wait(
+                [flight.conn for flight in inflight.values()],
+                timeout=0.05)
+            for conn in ready:
+                flight = inflight[conn.fileno()]
+                try:
+                    record = conn.recv()
+                except (EOFError, OSError):
+                    record = None        # worker died mid-send
+                reap(flight, record)
+            now = time.monotonic()
+            if options.timeout_s is not None:
+                for flight in list(inflight.values()):
+                    if now - flight.started_at > options.timeout_s:
+                        flight.process.terminate()
+                        flight.process.join()
+                        del inflight[flight.conn.fileno()]
+                        flight.conn.close()
+                        give_up(flight,
+                                f"timeout after {options.timeout_s:g}s")
+    finally:
+        for flight in inflight.values():
+            flight.process.terminate()
+            flight.conn.close()
+        for flight in inflight.values():
+            flight.process.join()

@@ -28,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional, Tuple
 
@@ -41,8 +42,8 @@ from repro.obs import Observability, events_to_jsonl
 from repro.sched.thread_sched import ThreadScheduler
 from repro.sched.work_stealing import WorkStealingScheduler
 from repro.sim.engine import Simulator
-from repro.sim.rng import make_rng
-from repro.verify.faults import EXPECTED_RULE, FaultPlan
+from repro.sim.rng import derive_seed
+from repro.verify.faults import FaultPlan
 from repro.verify.invariants import InvariantChecker, InvariantViolation
 from repro.workloads.synthetic import ObjectOpsSpec, ObjectOpsWorkload
 
@@ -113,7 +114,8 @@ class FuzzCase:
 
 def generate_case(seed: int) -> FuzzCase:
     """Deterministically derive one random case from ``seed``."""
-    rng = make_rng(seed, "fuzz-case")
+    # Same root->case derivation repro-sweep and bench sweeps use.
+    rng = random.Random(derive_seed(seed, "fuzz-case"))
     n_chips, cores_per_chip = rng.choice(
         ((1, 2), (1, 4), (2, 1), (2, 2), (2, 4), (4, 2)))
     scheduler = rng.choice(SCHEDULERS)

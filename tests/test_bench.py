@@ -71,6 +71,66 @@ class TestSweep:
             sweep(tiny_spec(), ("nope",), [quick_workload()],
                   warmup_cycles=0, measure_cycles=10_000)
 
+    def test_interrupt_flushes_partial_series(self, monkeypatch):
+        # Interrupt mid-grid: the exception must carry every finished
+        # point (completed series + the partial one) so hours of sweep
+        # work survive a ^C.
+        import repro.bench.harness as harness
+        real_run_point = harness.run_point
+        calls = []
+
+        def flaky_run_point(*args, **kwargs):
+            if len(calls) == 3:            # 4th point: mid-series 2
+                raise KeyboardInterrupt
+            calls.append(1)
+            return real_run_point(*args, **kwargs)
+
+        monkeypatch.setattr(harness, "run_point", flaky_run_point)
+        with pytest.raises(KeyboardInterrupt) as exc_info:
+            sweep(tiny_spec(), ("thread", "coretime"),
+                  [quick_workload(2), quick_workload(4)],
+                  warmup_cycles=10_000, measure_cycles=20_000)
+        partial = exc_info.value.partial_series
+        assert [s.label for s in partial] == ["thread",
+                                              "coretime (partial)"]
+        assert len(partial[0].points) == 2
+        assert len(partial[1].points) == 1
+
+    def test_parallel_matches_serial(self):
+        kwargs = dict(warmup_cycles=10_000, measure_cycles=30_000,
+                      xs=[2.0, 4.0], seed=3)
+        workloads = [quick_workload(2), quick_workload(4)]
+        serial = sweep(tiny_spec(), ("thread", "coretime"), workloads,
+                       **kwargs)
+        parallel = sweep(tiny_spec(), ("thread", "coretime"), workloads,
+                         workers=2, **kwargs)
+        assert [s.label for s in serial] == [s.label for s in parallel]
+        for left, right in zip(serial, parallel):
+            assert left.points == right.points
+
+    def test_parallel_rejects_unpicklable_configurations(self):
+        with pytest.raises(ConfigError):
+            sweep(tiny_spec(), ("thread",), [quick_workload()],
+                  workers=2, schedulers={"thread": SCHEDULERS["thread"]})
+        with pytest.raises(ConfigError):
+            sweep(tiny_spec(), ("thread",), [quick_workload()],
+                  workers=2, workload_factory=lambda m, s: None)
+        with pytest.raises(ConfigError):
+            sweep(tiny_spec(), ("thread",), [quick_workload()],
+                  workers=2, obs=object())
+
+    def test_seed_fans_out_per_point(self):
+        # A root seed derives an independent seed per (scheduler, point);
+        # same root, same coordinates -> identical results.
+        first = sweep(tiny_spec(), ("thread",),
+                      [quick_workload(2), quick_workload(4)],
+                      warmup_cycles=10_000, measure_cycles=30_000, seed=5)
+        second = sweep(tiny_spec(), ("thread",),
+                       [quick_workload(2), quick_workload(4)],
+                       warmup_cycles=10_000, measure_cycles=30_000,
+                       seed=5)
+        assert first[0].points == second[0].points
+
     def test_series_accessors(self):
         series = Series("s", [
             BenchPoint("s", 1.0, 10.0, 5, 0, 0, 0),

@@ -14,8 +14,9 @@ from repro.obs.events import (ALL_EVENTS, CacheEvicted, CacheInvalidated,
                               LockContended, MigrationStarted,
                               ObjectAssigned, ObjectMoved, OperationFinished,
                               OperationStarted, RebalanceRound, RunMarker,
-                              SchedDecision, ThreadArrived, ThreadFinished,
-                              ThreadSpawned)
+                              SchedDecision, SweepCaseFailed,
+                              SweepCaseFinished, SweepCaseStarted,
+                              ThreadArrived, ThreadFinished, ThreadSpawned)
 from repro.obs.export import SCHEMA_VERSION, events_to_jsonl
 from repro.obs.profile import (MetricDelta, core_breakdown, diff_metrics,
                                diff_streams, folded_stacks, load_jsonl,
@@ -49,6 +50,9 @@ SAMPLE_EVENTS = [
     FaultInjected(2450, "evict_line", "evicted line 7 from L2.1"),
     InvariantViolated(2460, "residency", "line 7: directory disagrees"),
     ThreadFinished(2500, 2, "t0"),
+    SweepCaseStarted(0, "ab12cd", "coretime", "dirs320", 7133),
+    SweepCaseFinished(1, "ab12cd", "coretime", "dirs320", 812.5, True),
+    SweepCaseFailed(2, "ef34ab", "thread", "dirs640", "timeout after 30s"),
 ]
 
 

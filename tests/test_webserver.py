@@ -50,6 +50,33 @@ class TestConstruction:
         with pytest.raises(ConfigError):
             WebServerSpec(content_bytes=0).validate()
 
+    def test_validation_edge_values(self):
+        # The boundary cases on either side of every limit.
+        WebServerSpec(n_dirs=1, files_per_dir=1, content_bytes=1,
+                      conn_table_bytes=1).validate()
+        with pytest.raises(ConfigError):
+            WebServerSpec(files_per_dir=0).validate()
+        with pytest.raises(ConfigError):
+            WebServerSpec(conn_table_bytes=0).validate()
+        with pytest.raises(ConfigError):
+            WebServerSpec(n_dirs=-3).validate()
+        # The workload constructor must enforce the same rules.
+        with pytest.raises(ConfigError):
+            WebServerWorkload(Machine(tiny_spec()),
+                              tiny_server(files_per_dir=0))
+
+    def test_replace_returns_modified_copy(self):
+        base = tiny_server()
+        changed = base.replace(n_dirs=9, zipf_s=1.4)
+        assert changed.n_dirs == 9 and changed.zipf_s == 1.4
+        assert changed.files_per_dir == base.files_per_dir
+        assert base.n_dirs == 4                # original untouched
+        assert changed.replace() == changed    # no-op replace
+
+    def test_replace_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            tiny_server().replace(banana=1)
+
 
 class TestRequestStream:
     def test_request_item_sequence(self):
@@ -80,6 +107,28 @@ class TestRequestStream:
             workload.spawn_all(sim)
             sim.run(until=400_000)
             assert workload.requests_served > 0, name
+
+    def test_same_seed_spawn_all_is_deterministic(self):
+        def run(seed):
+            machine = Machine(tiny_spec())
+            sim = Simulator(machine, SCHEDULERS["coretime"]())
+            workload = WebServerWorkload(machine,
+                                         tiny_server(seed=seed))
+            threads = workload.spawn_all(sim)
+            names = [thread.name for thread in threads]
+            sim.run(until=250_000)
+            counters = [(machine.memory.counters[c].loads,
+                         machine.memory.counters[c].stores)
+                        for c in range(machine.n_cores)]
+            return names, workload.requests_served, counters
+
+        first = run(seed=21)
+        second = run(seed=21)
+        assert first == second
+        assert first[1] > 0
+        # A different seed must actually change the request stream.
+        other = run(seed=22)
+        assert first[1:] != other[1:]
 
     def test_stores_hit_connection_table(self):
         machine = Machine(tiny_spec())
