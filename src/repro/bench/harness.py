@@ -179,11 +179,12 @@ def sweep(machine_spec: MachineSpec,
     """Run every scheduler over every workload spec; returns one
     :class:`Series` per scheduler, in the order given.
 
-    ``workers=0`` (the default) evaluates points serially in-process; a
-    :class:`KeyboardInterrupt` then re-raises with the completed points
-    attached as ``exc.partial_series``, so a long interactive sweep never
-    loses finished work.  ``workers=N`` shards the grid over ``N``
-    processes via :mod:`repro.sweep` — identical per-point results —
+    ``workers=0`` (the default) evaluates points serially in-process.
+    On either path a :class:`KeyboardInterrupt` re-raises with the
+    completed points attached as ``exc.partial_series``, so a long
+    interactive sweep never loses finished work.  ``workers=N`` shards
+    the grid over ``N`` processes via :mod:`repro.sweep` — identical
+    per-point results —
     which requires registry-named schedulers and plain directory-lookup
     workloads (custom ``schedulers`` factories or a ``workload_factory``
     cannot cross a process boundary; neither can a shared ``obs``
@@ -267,7 +268,29 @@ def _sweep_parallel(machine_spec, scheduler_names, workload_specs,
                 warmup_cycles=warmup_cycles,
                 measure_cycles=measure_cycles,
                 x=xs[index] if xs is not None else None))
-    outcome = run_cases(cases, options=RunnerOptions(workers=workers))
+    try:
+        outcome = run_cases(cases, options=RunnerOptions(workers=workers))
+    except KeyboardInterrupt as interrupt:
+        # Mirror the workers=0 contract: completed points ride along on
+        # the exception (run_cases attached the raw records).
+        records = getattr(interrupt, "partial_records", {})
+        partial: List[Series] = []
+        for name in scheduler_names:
+            points = []
+            for case, (case_name, index) in zip(cases, grid):
+                if case_name != name:
+                    continue
+                record = records.get(case.key())
+                if record is not None and record["status"] == "ok":
+                    points.append((index, BenchPoint(**record["point"])))
+            if not points:
+                continue
+            label = (name if len(points) == len(workload_specs)
+                     else f"{name} (partial)")
+            partial.append(Series(
+                label, [point for _, point in sorted(points)]))
+        interrupt.partial_series = partial
+        raise
     by_coord: Dict = {}
     for case, (name, index) in zip(cases, grid):
         record = outcome.records[case.key()]

@@ -43,9 +43,10 @@ from repro.obs.events import (ALL_EVENTS, CONTROL_EVENTS, EVENT_KINDS,
                               LockContended, MigrationStarted,
                               ObjectAssigned, ObjectMoved, OperationFinished,
                               OperationStarted, RebalanceRound, RunMarker,
-                              SchedDecision, SweepCaseFailed,
+                              LeaseExpired, SchedDecision, SweepCaseFailed,
                               SweepCaseFinished, SweepCaseStarted,
-                              ThreadArrived, ThreadFinished, ThreadSpawned)
+                              ThreadArrived, ThreadFinished, ThreadSpawned,
+                              WorkerJoined, WorkerLost)
 from repro.obs.export import (SCHEMA_VERSION, ascii_timeline, chrome_trace,
                               events_to_jsonl, write_chrome_trace,
                               write_jsonl)
@@ -204,6 +205,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistogramSummary",
+    "LeaseExpired",
     "LockContended",
     "MetricsRegistry",
     "MigrationStarted",
@@ -221,6 +223,8 @@ __all__ = [
     "ThreadArrived",
     "ThreadFinished",
     "ThreadSpawned",
+    "WorkerJoined",
+    "WorkerLost",
     "ascii_timeline",
     "chrome_trace",
     "events_to_jsonl",

@@ -356,6 +356,60 @@ class SweepCaseFailed(Event):
         self.error = error
 
 
+class WorkerJoined(Event):
+    """A sweep worker connected to the distributed coordinator.
+
+    ``ts`` is the coordinator's dispatch sequence number (see
+    :class:`SweepCaseStarted`); ``worker`` is the worker's self-reported
+    name (``host-pid`` by default, ``local-N`` for pool workers).
+    """
+
+    __slots__ = ("worker",)
+    kind = "worker_join"
+
+    def __init__(self, ts: int, worker: str) -> None:
+        self.ts = ts
+        self.worker = worker
+
+
+class WorkerLost(Event):
+    """A sweep worker disconnected, went silent or was kicked.
+
+    ``leases`` counts the leases reclaimed from it; each reclaimed lease
+    also gets its own :class:`LeaseExpired` event, so the feed shows both
+    the lost fleet member and every cell that went back in the queue.
+    """
+
+    __slots__ = ("worker", "leases")
+    kind = "worker_lost"
+
+    def __init__(self, ts: int, worker: str, leases: int) -> None:
+        self.ts = ts
+        self.worker = worker
+        self.leases = leases
+
+
+class LeaseExpired(Event):
+    """A leased cell was reclaimed from its worker and requeued (or,
+    past the retry budget, recorded as failed).
+
+    ``reason`` distinguishes a heartbeat TTL expiry (``"expired"``), a
+    lost connection (``"worker lost"``) and a per-case timeout kick
+    (``"timeout"``); ``attempt`` is the attempt that just died.
+    """
+
+    __slots__ = ("case", "worker", "attempt", "reason")
+    kind = "lease_expired"
+
+    def __init__(self, ts: int, case: str, worker: str, attempt: int,
+                 reason: str) -> None:
+        self.ts = ts
+        self.case = case
+        self.worker = worker
+        self.attempt = attempt
+        self.reason = reason
+
+
 class InvariantViolated(Event):
     """A machine-wide invariant failed its periodic check.
 
@@ -381,6 +435,7 @@ CONTROL_EVENTS: Tuple[Type[Event], ...] = (
     ObjectAssigned, ObjectMoved, RebalanceRound, LockContended,
     FaultInjected, InvariantViolated,
     SweepCaseStarted, SweepCaseFinished, SweepCaseFailed,
+    WorkerJoined, WorkerLost, LeaseExpired,
 )
 
 #: Memory-system events: one per eviction/invalidation, far hotter than

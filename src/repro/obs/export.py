@@ -39,8 +39,9 @@ SCHEDULER_TRACK = 10_000
 #: version 2 added the attribution fields; version 3 added the
 #: verification-layer kinds (``fault``, ``invariant``); version 4 added
 #: the sweep-orchestration kinds (``sweep_start``, ``sweep_end``,
-#: ``sweep_fail``).
-SCHEMA_VERSION = 4
+#: ``sweep_fail``); version 5 added the distributed-sweep kinds
+#: (``worker_join``, ``worker_lost``, ``lease_expired``).
+SCHEMA_VERSION = 5
 
 
 def chrome_trace(events: Sequence[Event],

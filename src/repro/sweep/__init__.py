@@ -8,16 +8,18 @@ shardable, crash-safe job:
   filters) and expands it into content-hashable
   :class:`~repro.sweep.spec.SweepCase` cells;
 * :func:`~repro.sweep.runner.run_sweep` executes cells serially
-  (``workers=0``) or across a multiprocessing pool with per-case
-  timeout, bounded retry and crash isolation;
+  (``workers=0``), across a local subprocess pool, or — via
+  :mod:`repro.sweep.dist` — over a TCP worker fleet, with leases,
+  heartbeats, per-case timeout, bounded retry and crash isolation;
 * :class:`~repro.sweep.store.ResultStore` caches finished cells on disk
   keyed by (case hash, code fingerprint) and journals progress so a
   killed sweep resumes without recomputing;
 * :mod:`~repro.sweep.aggregate` folds seeds into
   :class:`repro.analysis.SampleStats`, renders A/B scheduler tables and
-  exports schema-v4 obs event streams;
+  exports schema-v5 obs event streams;
 * ``repro-sweep`` (:mod:`repro.sweep.cli`) is the console front end:
-  ``run`` / ``status`` / ``resume`` / ``report`` / ``diff``.
+  ``run`` / ``status`` / ``resume`` / ``report`` / ``diff`` plus the
+  distributed ``serve`` / ``work`` / ``tail``.
 
 Quick use::
 

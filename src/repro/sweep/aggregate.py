@@ -8,7 +8,7 @@ throughputs (mean, stdev, 95% CI) plus p50/p95 quantiles.  A/B scheduler
 comparisons reuse :class:`repro.analysis.SpeedupResult`: seeds are
 paired, so a "robust" speedup means the candidate won on *every* seed.
 
-``export_events_jsonl`` writes the sweep as a schema-version-4 obs event
+``export_events_jsonl`` writes the sweep as a schema-version-5 obs event
 stream (``sweep_start``/``sweep_end``/``sweep_fail``), loadable by the
 same ``repro.obs.profile`` ingest that ``repro-analyze diff`` uses.
 """
@@ -269,5 +269,5 @@ def records_to_events(records: Iterable[Optional[dict]]) -> List[Event]:
 
 def export_events_jsonl(path: str,
                         records: Iterable[Optional[dict]]) -> str:
-    """Write the sweep as schema-v4 JSONL (``repro-analyze`` ingests it)."""
+    """Write the sweep as schema-v5 JSONL (``repro-analyze`` ingests it)."""
     return write_jsonl(path, records_to_events(records))

@@ -13,14 +13,24 @@ Quick tour::
         and content-addressed cells; finished cells are never recomputed
         as long as the repro sources are unchanged.
 
-    repro-sweep status /tmp/sw
+    repro-sweep serve smoke --port 7463 --out /tmp/sw
+    repro-sweep work --connect host:7463
+        Distributed execution: ``serve`` coordinates the grid over TCP,
+        leasing cells to any number of ``work`` processes (same source
+        tree, any machine); a worker that crashes or goes silent
+        forfeits its leases and the cells are requeued.  ``status
+        --connect host:7463`` asks the live coordinator; ``tail
+        --connect host:7463`` streams the obs event feed as JSONL.
+
+    repro-sweep status /tmp/sw --watch 2
         Cells: done / failed / stale (computed under different code) /
-        pending, plus the last journal entry.
+        pending, plus the last journal entry; ``--watch`` polls until
+        the sweep completes.
 
     repro-sweep report /tmp/sw -o report.txt --events-out sweep.jsonl
         Per-cell statistics (mean, 95% CI, p50/p95 over seeds), A/B
         scheduler tables, failure list; the JSONL export is a
-        schema-v4 obs event stream repro-analyze can ingest.
+        schema-v5 obs event stream repro-analyze can ingest.
 
     repro-sweep diff /tmp/base /tmp/cand
         Cell-by-cell mean deltas between two sweeps (two commits, two
@@ -33,8 +43,11 @@ Exit codes: 0 success, 1 usage/failed cells, 3 stopped early
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import socket
 import sys
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -58,7 +71,8 @@ def _runner_options(args) -> RunnerOptions:
         workers = os.cpu_count() or 1
     options = RunnerOptions(
         workers=workers, timeout_s=args.timeout, retries=args.retries,
-        verify=args.verify, stop_after=args.stop_after)
+        verify=args.verify, stop_after=args.stop_after,
+        lease_ttl_s=args.ttl)
     options.validate()
     return options
 
@@ -96,7 +110,11 @@ def _finish(store: ResultStore, spec: SweepSpec, outcome,
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def _spec_and_store(args):
+    """Expand the preset and open (or create) its result store.
+
+    Returns ``(spec, store)`` or an int exit code on a usage error.
+    """
     try:
         preset = PRESETS[args.preset]
     except KeyError:
@@ -119,10 +137,77 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 1
     else:
         store.create(spec)
+    return spec, store
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    prepared = _spec_and_store(args)
+    if isinstance(prepared, int):
+        return prepared
+    spec, store = prepared
     with store:
         outcome = run_sweep(spec, store, _runner_options(args),
                             progress=_progress(args.quiet))
         return _finish(store, spec, outcome, args)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.sweep.dist.transport import TcpTransport
+    prepared = _spec_and_store(args)
+    if isinstance(prepared, int):
+        return prepared
+    spec, store = prepared
+    # The bus powers the live `tail` feed; flight/metrics are per-case
+    # concerns that live inside the workers, not here.
+    obs = Observability(metrics=False, flight=0)
+    transport = TcpTransport(
+        args.host, args.port,
+        on_bound=lambda t: print(f"serving {spec.name} on "
+                                 f"{t.host}:{t.port}", flush=True))
+    with store:
+        outcome = run_sweep(spec, store, _runner_options(args), obs=obs,
+                            progress=_progress(args.quiet),
+                            transport=transport)
+        return _finish(store, spec, outcome, args)
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    from repro.sweep.dist.transport import connect
+    from repro.sweep.dist.worker import work_loop
+    name = args.name or f"{socket.gethostname()}-{os.getpid()}"
+    channel = connect(args.connect)
+    computed = work_loop(channel, name, fingerprint=code_fingerprint(),
+                         say=_progress(args.quiet),
+                         max_cases=args.max_cases,
+                         fail_after=args.fail_after)
+    print(f"worker {name}: {computed} case(s) computed")
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    from repro.sweep.dist.transport import connect
+    channel = connect(args.connect)
+    channel.send({"type": "watch"})
+    try:
+        while True:
+            frame = channel.recv()
+            if frame is None or frame.get("type") == "drain":
+                return 0
+            if frame.get("type") == "meta":
+                # Same header events_to_jsonl writes, so a captured tail
+                # is a valid repro-analyze input.
+                line = {"kind": "meta",
+                        "schema_version": frame.get("schema_version"),
+                        "source": "repro.obs"}
+            elif frame.get("type") == "event":
+                line = frame["event"]
+            else:
+                continue
+            print(json.dumps(line, separators=(",", ":"),
+                             sort_keys=True), flush=True)
+    finally:
+        channel.close()
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
@@ -134,22 +219,66 @@ def cmd_resume(args: argparse.Namespace) -> int:
         return _finish(store, spec, outcome, args)
 
 
+def _status_connect(args: argparse.Namespace) -> int:
+    """Ask a live ``repro-sweep serve`` coordinator for its counters."""
+    from repro.sweep.dist.transport import connect
+    while True:
+        try:
+            channel = connect(args.connect, timeout_s=5.0)
+        except ReproError:
+            if args.watch is not None:
+                # Polling a coordinator that has finished and exited.
+                print(f"coordinator at {args.connect} is gone")
+                return 0
+            raise
+        channel.send({"type": "status"})
+        reply = channel.recv()
+        channel.close()
+        if reply is None or reply.get("type") != "status":
+            print(f"no status reply from {args.connect}",
+                  file=sys.stderr)
+            return 1
+        done, total = reply["done"], reply["total"]
+        print(f"sweep at {args.connect}: {done}/{total} done "
+              f"({reply['computed']} computed, {reply['cached']} cached, "
+              f"{reply['failed']} failed), {reply['leased']} leased, "
+              f"{reply['pending']} pending")
+        for name, info in sorted(reply.get("workers", {}).items()):
+            print(f"  worker {name}: {info['leases']} lease(s), "
+                  f"seen {info['seen_s_ago']:.1f}s ago")
+        if done >= total:
+            return 0 if reply["failed"] == 0 else 3
+        if args.watch is None:
+            return 3
+        time.sleep(args.watch)
+
+
 def cmd_status(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _status_connect(args)
+    if not args.dir:
+        print("status needs a sweep store directory or --connect",
+              file=sys.stderr)
+        return 1
     store = ResultStore(args.dir)
     spec = store.load_spec()
-    counts = store.status(fingerprint=code_fingerprint())
-    print(f"sweep {spec.name} at {store.root}")
-    print(f"  cells: {counts['ok']} ok, {counts['failed']} failed, "
-          f"{counts['stale']} stale, {counts['pending']} pending "
-          f"(of {counts['total']})")
-    entries = store.journal_entries()
-    if entries:
-        last = entries[-1]
-        detail = ", ".join(f"{k}={v}" for k, v in sorted(last.items())
-                           if k != "event")
-        print(f"  journal: {len(entries)} entries, "
-              f"last = {last['event']} ({detail})")
-    return 0 if counts["pending"] == 0 and counts["failed"] == 0 else 3
+    while True:
+        counts = store.status(fingerprint=code_fingerprint())
+        print(f"sweep {spec.name} at {store.root}")
+        print(f"  cells: {counts['ok']} ok, {counts['failed']} failed, "
+              f"{counts['stale']} stale, {counts['pending']} pending "
+              f"(of {counts['total']})")
+        entries = store.journal_entries()
+        if entries:
+            last = entries[-1]
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(last.items())
+                               if k != "event")
+            print(f"  journal: {len(entries)} entries, "
+                  f"last = {last['event']} ({detail})")
+        if counts["pending"] == 0 or args.watch is None:
+            return (0 if counts["pending"] == 0
+                    and counts["failed"] == 0 else 3)
+        time.sleep(args.watch)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -195,8 +324,11 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stop-after", type=int, default=None,
                         help="stop dispatching after N computed cases "
                              "(simulates a killed run; resume finishes)")
+    parser.add_argument("--ttl", type=float, default=15.0,
+                        help="lease TTL in seconds: a worker silent this "
+                             "long forfeits its cells (default 15)")
     parser.add_argument("--events-out", metavar="PATH", default=None,
-                        help="write the sweep as a schema-v4 obs event "
+                        help="write the sweep as a schema-v5 obs event "
                              "stream (JSONL)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress and the final "
@@ -232,9 +364,62 @@ def main(argv=None) -> int:
     _add_exec_options(resume)
     resume.set_defaults(func=cmd_resume)
 
+    serve = sub.add_parser(
+        "serve", help="coordinate a sweep over TCP, leasing cells to "
+                      "`repro-sweep work` processes")
+    serve.add_argument("preset", choices=sorted(PRESETS),
+                       help="which grid to serve")
+    serve.add_argument("--out", metavar="DIR", default=None,
+                       help="result-store directory (default: "
+                            "benchmarks/results/sweeps/<preset>)")
+    serve.add_argument("--seeds", type=int, default=None,
+                       help="seeds per cell (overrides the preset)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="root seed; per-cell seeds derive from it")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address (default 127.0.0.1; use "
+                            "0.0.0.0 for a multi-machine fleet)")
+    serve.add_argument("--port", type=int, default=7463,
+                       help="listen port (default 7463; 0 picks a free "
+                            "port, printed at startup)")
+    _add_exec_options(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    work = sub.add_parser(
+        "work", help="join a served sweep as a worker")
+    work.add_argument("--connect", required=True, metavar="HOST:PORT",
+                      help="coordinator address")
+    work.add_argument("--name", default=None,
+                      help="worker name (default: <hostname>-<pid>)")
+    work.add_argument("--max-cases", type=int, default=None,
+                      help="disconnect cleanly after N cases (fleet "
+                           "churn test hook)")
+    work.add_argument("--fail-after", type=int, default=None,
+                      help="hard-exit while holding a lease after N "
+                           "cases (crash test hook)")
+    work.add_argument("--quiet", action="store_true",
+                      help="suppress per-case progress")
+    work.set_defaults(func=cmd_work)
+
+    tail = sub.add_parser(
+        "tail", help="stream a serving coordinator's obs event feed "
+                     "as JSONL")
+    tail.add_argument("--connect", required=True, metavar="HOST:PORT",
+                      help="coordinator address")
+    tail.set_defaults(func=cmd_tail)
+
     status = sub.add_parser(
-        "status", help="cell counts and journal tail for a sweep store")
-    status.add_argument("dir", help="sweep store directory")
+        "status", help="cell counts and journal tail for a sweep store "
+                       "(or a live coordinator via --connect)")
+    status.add_argument("dir", nargs="?", default=None,
+                        help="sweep store directory")
+    status.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="query a live `repro-sweep serve` "
+                             "coordinator instead of a store directory")
+    status.add_argument("--watch", type=float, metavar="SECONDS",
+                        default=None,
+                        help="poll every SECONDS until the sweep "
+                             "completes")
     status.set_defaults(func=cmd_status)
 
     report = sub.add_parser(
@@ -243,7 +428,7 @@ def main(argv=None) -> int:
     report.add_argument("-o", "--out", default=None,
                         help="write the report to a file")
     report.add_argument("--events-out", metavar="PATH", default=None,
-                        help="also export the schema-v4 JSONL stream")
+                        help="also export the schema-v5 JSONL stream")
     report.set_defaults(func=cmd_report)
 
     diff = sub.add_parser(

@@ -1,0 +1,58 @@
+"""repro.sweep.dist — distributed sweep execution over leased cells.
+
+The transport-agnostic generalization of the PR-5 worker pool: an async
+coordinator **leases** grid cells to workers over an abstract
+:class:`~repro.sweep.dist.transport.Transport`, with the existing
+content-addressed :class:`~repro.sweep.store.ResultStore` as the single
+source of truth.  Two transports ship:
+
+* :class:`~repro.sweep.dist.transport.LocalTransport` — ``N`` worker
+  subprocesses over duplex pipes; this is what ``repro-sweep run
+  --workers N`` uses, so the single-machine pool and a remote fleet are
+  literally the same code path;
+* :class:`~repro.sweep.dist.transport.TcpTransport` — length-prefixed
+  JSON frames over asyncio TCP; ``repro-sweep serve`` listens, and any
+  number of ``repro-sweep work --connect host:port`` processes (on any
+  machine sharing the source tree) join the fleet.
+
+Robustness model (DESIGN.md §11): every granted cell is a lease with a
+TTL; workers heartbeat to keep their leases alive; an expired or
+orphaned lease is requeued deterministically under the PR-5 retry
+budget, and completion is idempotent — records are keyed by ``(case
+key, code fingerprint)`` and carry only deterministic fields, so a
+duplicate result from a worker presumed dead is byte-identical and
+harmless.  The coordinator also answers ``status`` queries and streams
+the schema-v5 obs event feed to ``watch`` subscribers on the same port.
+"""
+
+from repro.sweep.dist.coordinator import Coordinator
+from repro.sweep.dist.lease import Lease, LeaseTable
+from repro.sweep.dist.protocol import (MAX_FRAME_BYTES, ProtocolError,
+                                       encode_frame, read_frame,
+                                       recv_frame, send_frame)
+from repro.sweep.dist.transport import (Channel, LocalTransport,
+                                        PipeWorkerChannel,
+                                        SocketWorkerChannel, TcpTransport,
+                                        Transport, WorkerChannel, connect)
+from repro.sweep.dist.worker import work_loop
+
+__all__ = [
+    "Channel",
+    "Coordinator",
+    "Lease",
+    "LeaseTable",
+    "LocalTransport",
+    "MAX_FRAME_BYTES",
+    "PipeWorkerChannel",
+    "ProtocolError",
+    "SocketWorkerChannel",
+    "TcpTransport",
+    "Transport",
+    "WorkerChannel",
+    "connect",
+    "encode_frame",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "work_loop",
+]

@@ -1,0 +1,114 @@
+"""The coordinator's lease table: who is computing which cell.
+
+A lease is the coordinator's only claim about remote progress: worker
+``w`` was granted case ``k`` at time ``t`` and has been heard from (via
+heartbeat or any other frame) at ``renewed_at``.  The table answers the
+three questions the coordinator's periodic tick asks:
+
+* which leases' workers have gone silent past the TTL (:meth:`expired`),
+* which leases have outlived a per-case wall-clock budget
+  (:meth:`overdue`) — the PR-5 ``--timeout`` policy, distinct from the
+  TTL because a *hung simulator* still heartbeats,
+* which leases a disconnecting worker held (:meth:`worker_leases`).
+
+Reclaim order is deterministic: every query returns leases in grant
+order (``seq``), so a batch of expiries requeues cells in the order they
+were dispatched — the property the fake-clock tests pin.  Time comes
+from an injectable ``clock`` callable (default ``time.monotonic``) so
+expiry logic is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class Lease:
+    """One granted cell: ``worker`` owes the coordinator ``key``."""
+
+    key: str
+    worker: str
+    attempt: int
+    granted_at: float
+    renewed_at: float
+    seq: int                     # grant sequence, for deterministic order
+
+
+class LeaseTable:
+    """Leases keyed by case key, with TTL bookkeeping."""
+
+    def __init__(self, ttl_s: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if ttl_s <= 0:
+            raise ValueError("lease TTL must be positive")
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._leases: Dict[str, Lease] = {}
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._leases
+
+    def get(self, key: str) -> Optional[Lease]:
+        return self._leases.get(key)
+
+    def grant(self, key: str, worker: str, attempt: int) -> Lease:
+        if key in self._leases:
+            raise ValueError(f"case {key} is already leased")
+        now = self._clock()
+        lease = Lease(key=key, worker=worker, attempt=attempt,
+                      granted_at=now, renewed_at=now, seq=self._next_seq)
+        self._next_seq += 1
+        self._leases[key] = lease
+        return lease
+
+    def release(self, key: str) -> Optional[Lease]:
+        """Drop and return the lease for ``key`` (None if not leased)."""
+        return self._leases.pop(key, None)
+
+    def renew_worker(self, worker: str) -> int:
+        """A heartbeat arrived: refresh every lease ``worker`` holds."""
+        now = self._clock()
+        count = 0
+        for lease in self._leases.values():
+            if lease.worker == worker:
+                lease.renewed_at = now
+                count += 1
+        return count
+
+    def worker_leases(self, worker: str) -> List[Lease]:
+        """``worker``'s leases in grant order (not removed)."""
+        return sorted((lease for lease in self._leases.values()
+                       if lease.worker == worker),
+                      key=lambda lease: lease.seq)
+
+    def expired(self) -> List[Lease]:
+        """Remove and return leases not renewed within the TTL.
+
+        Returned in grant order so the caller's requeue is deterministic
+        for any one expiry batch.
+        """
+        now = self._clock()
+        dead = sorted((lease for lease in self._leases.values()
+                       if now - lease.renewed_at > self.ttl_s),
+                      key=lambda lease: lease.seq)
+        for lease in dead:
+            del self._leases[lease.key]
+        return dead
+
+    def overdue(self, budget_s: float) -> List[Lease]:
+        """Leases older (since grant) than ``budget_s``, grant order.
+
+        Not removed — the caller decides whether to kick/requeue, and
+        does its own :meth:`release`.
+        """
+        now = self._clock()
+        return sorted((lease for lease in self._leases.values()
+                       if now - lease.granted_at > budget_s),
+                      key=lambda lease: lease.seq)

@@ -1,4 +1,4 @@
-"""Sweep execution: serial and multiprocessing case runners.
+"""Sweep execution: serial and distributed (leased) case runners.
 
 One case is one :func:`repro.bench.harness.run_point` call described by
 a :class:`~repro.sweep.spec.SweepCase`.  :func:`execute_case_record`
@@ -11,27 +11,35 @@ never an escaped exception — so a bad cell can never take down a sweep.
 * cells whose ``(case key, code fingerprint)`` already sit in the store
   are skipped (that is what makes ``repro-sweep resume`` free);
 * ``workers=0`` runs in-process, in deterministic grid order;
-* ``workers=N`` shards cases over ``N`` single-case worker processes
-  with a per-case timeout and bounded retry.  A worker that crashes or
-  hangs is terminated and its case retried; after ``retries`` extra
-  attempts the case is recorded as failed and the sweep moves on.
+* ``workers=N`` leases cases to ``N`` persistent worker subprocesses
+  through the :mod:`repro.sweep.dist` coordinator over its local pipe
+  transport — the same coordinator, lease table and worker loop that
+  ``repro-sweep serve`` uses over TCP, so the single-machine pool and a
+  remote fleet are literally one code path.  A worker that crashes or
+  goes silent loses its leases; each reclaimed cell is retried under
+  the bounded-retry policy and, past the budget, recorded as failed
+  while the sweep moves on.  Pass ``transport=`` to run the same grid
+  over any other :class:`~repro.sweep.dist.transport.Transport`.
 
-Results are byte-identical between the serial and parallel paths: a
-case is executed by the same function either way, records carry only
-deterministic fields, and wall-clock data goes to the journal instead.
-Progress is observable live through ``SweepCaseStarted`` /
-``SweepCaseFinished`` / ``SweepCaseFailed`` events on an attached
+Results are byte-identical between the serial, local-pool and TCP
+paths: a case is executed by the same function either way, records
+carry only deterministic fields, and wall-clock data goes to the
+journal instead.  Progress is observable live through
+``SweepCaseStarted`` / ``SweepCaseFinished`` / ``SweepCaseFailed`` (and
+in distributed runs ``WorkerJoined`` / ``WorkerLost`` /
+``LeaseExpired``) events on an attached
 :class:`~repro.obs.Observability` bus (``ts`` is the dispatch sequence
 number — sweeps span many simulators with unrelated clocks).
+
+On KeyboardInterrupt the partial results are attached to the exception
+as ``interrupt.partial_records`` (case key -> record or None) before it
+propagates, so callers like ``repro-bench`` can plot what finished.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from collections import deque
-from dataclasses import dataclass, field
-from multiprocessing.connection import wait as connection_wait
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigError
@@ -61,6 +69,9 @@ class RunnerOptions:
     #: Stop dispatching after this many newly-computed cases (used by the
     #: CI smoke job and tests to simulate a killed run deterministically).
     stop_after: Optional[int] = None
+    #: Lease TTL for distributed execution: a worker that goes this long
+    #: without a heartbeat forfeits its cells.
+    lease_ttl_s: float = 15.0
 
     def validate(self) -> None:
         if self.workers < 0:
@@ -69,6 +80,8 @@ class RunnerOptions:
             raise ConfigError("retries must be >= 0")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ConfigError("timeout must be positive")
+        if self.lease_ttl_s <= 0:
+            raise ConfigError("lease TTL must be positive")
 
 
 @dataclass
@@ -128,7 +141,8 @@ def execute_case_record(case: SweepCase, fingerprint: str,
     """Run one case to a store record, absorbing simulator failures.
 
     The record is deterministic: same case + same code -> same bytes,
-    whether computed serially, by a pool worker, or in a resumed run.
+    whether computed serially, by a pool worker, by a TCP worker on
+    another machine, or in a resumed run.
     """
     import dataclasses as _dc
     key = case_key if case_key is not None else case.key()
@@ -159,37 +173,6 @@ def execute_case_record(case: SweepCase, fingerprint: str,
 
 
 # ---------------------------------------------------------------------------
-# worker process entry point
-# ---------------------------------------------------------------------------
-
-def _worker_main(case_dict: dict, case_key: str, fingerprint: str,
-                 verify: bool, flight: int, conn) -> None:
-    """Child-process body: compute one case, send the record, exit."""
-    try:
-        case = SweepCase.from_dict(case_dict)
-        record = execute_case_record(case, fingerprint, verify=verify,
-                                     flight=flight, case_key=case_key)
-    except BaseException as exc:   # truly unexpected: report, don't hang
-        record = make_record(case_key, case_dict, fingerprint, "failed",
-                             error=f"worker error: "
-                                   f"{type(exc).__name__}: {exc}")
-    try:
-        conn.send(record)
-    finally:
-        conn.close()
-
-
-@dataclass
-class _InFlight:
-    process: multiprocessing.process.BaseProcess
-    conn: object
-    case: SweepCase
-    case_key: str
-    attempt: int
-    started_at: float = field(default_factory=time.monotonic)
-
-
-# ---------------------------------------------------------------------------
 # the sweep driver
 # ---------------------------------------------------------------------------
 
@@ -197,14 +180,19 @@ def run_sweep(spec: SweepSpec, store: Optional[ResultStore] = None,
               options: Optional[RunnerOptions] = None,
               obs: Optional[Observability] = None,
               progress: Optional[Callable[[str], None]] = None,
-              fingerprint: Optional[str] = None) -> SweepOutcome:
+              fingerprint: Optional[str] = None,
+              transport=None) -> SweepOutcome:
     """Run (or resume) every case of ``spec``, returning all records.
 
     With a ``store``, finished cells are read from / written to disk and
     every transition is journalled; without one, results stay in memory.
+    ``transport`` overrides how cases are executed (e.g. a
+    :class:`~repro.sweep.dist.transport.TcpTransport` for ``repro-sweep
+    serve``); by default ``options.workers`` picks serial or local-pool.
     """
     return run_cases(spec.expand(), store=store, options=options,
-                     obs=obs, progress=progress, fingerprint=fingerprint)
+                     obs=obs, progress=progress, fingerprint=fingerprint,
+                     transport=transport)
 
 
 def run_cases(cases: List[SweepCase],
@@ -212,9 +200,12 @@ def run_cases(cases: List[SweepCase],
               options: Optional[RunnerOptions] = None,
               obs: Optional[Observability] = None,
               progress: Optional[Callable[[str], None]] = None,
-              fingerprint: Optional[str] = None) -> SweepOutcome:
+              fingerprint: Optional[str] = None,
+              transport=None) -> SweepOutcome:
     """Run an explicit case list (what ``bench.harness.sweep`` feeds in
     when it shards a figure's grid over workers)."""
+    from repro.sweep.dist.coordinator import Seq
+
     options = options or RunnerOptions()
     options.validate()
     keys = [case.key() for case in cases]
@@ -223,7 +214,7 @@ def run_cases(cases: List[SweepCase],
     say = progress if progress is not None else (lambda message: None)
 
     outcome = SweepOutcome(records={key: None for key in keys})
-    seq = 0                      # dispatch sequence, the obs timestamp
+    seq = Seq()                  # dispatch sequence, the obs timestamp
     bus = obs.bus if obs is not None else None
 
     todo: List[tuple] = []
@@ -235,13 +226,13 @@ def run_cases(cases: List[SweepCase],
             if store is not None:
                 store.journal("cached", case=key,
                               label=case.describe())
+            ts = seq.next()
             if bus is not None and bus.wants(SweepCaseFinished):
                 kops = (record["point"]["kops_per_sec"]
                         if record["status"] == "ok" else 0.0)
                 bus.publish(SweepCaseFinished(
-                    seq, key, case.scheduler, case.workload_label,
+                    ts, key, case.scheduler, case.workload_label,
                     kops, cached=True))
-            seq += 1
         else:
             todo.append((case, key))
     if outcome.cached:
@@ -251,7 +242,7 @@ def run_cases(cases: List[SweepCase],
 
     def finalize(case: SweepCase, key: str, record: dict,
                  elapsed: float, attempt: int) -> None:
-        nonlocal seq
+        ts = seq.next()
         outcome.records[key] = record
         outcome.computed += 1
         if record["status"] == "ok":
@@ -270,32 +261,40 @@ def run_cases(cases: List[SweepCase],
             if record["status"] == "ok" \
                     and bus.wants(SweepCaseFinished):
                 bus.publish(SweepCaseFinished(
-                    seq, key, case.scheduler, case.workload_label,
+                    ts, key, case.scheduler, case.workload_label,
                     record["point"]["kops_per_sec"]))
             elif record["status"] == "failed" \
                     and bus.wants(SweepCaseFailed):
                 bus.publish(SweepCaseFailed(
-                    seq, key, case.scheduler, case.workload_label,
+                    ts, key, case.scheduler, case.workload_label,
                     record["error"] or "unknown"))
-        seq += 1
 
     def announce(case: SweepCase, key: str) -> None:
-        nonlocal seq
+        ts = seq.next()
         if store is not None:
             store.journal("started", case=key, label=case.describe())
         if bus is not None and bus.wants(SweepCaseStarted):
-            bus.publish(SweepCaseStarted(seq, key, case.scheduler,
+            bus.publish(SweepCaseStarted(ts, key, case.scheduler,
                                          case.workload_label, case.seed))
-        seq += 1
 
     try:
-        if options.workers == 0:
+        if transport is None and options.workers > 0:
+            from repro.sweep.dist.transport import LocalTransport
+            transport = LocalTransport(options.workers)
+        if not todo:
+            pass                     # everything was cached
+        elif transport is None:
             _run_serial(todo, options, fingerprint, announce, finalize,
                         outcome)
         else:
-            _run_pool(todo, options, fingerprint, announce, finalize,
-                      outcome, say)
-    except KeyboardInterrupt:
+            from repro.sweep.dist.coordinator import Coordinator
+            Coordinator(todo, transport, options, fingerprint,
+                        announce=announce, finalize=finalize,
+                        outcome=outcome, say=say, obs=obs, store=store,
+                        seq=seq).run()
+    except KeyboardInterrupt as interrupt:
+        # Callers (repro-bench, the CLI) can salvage what finished.
+        interrupt.partial_records = dict(outcome.records)
         if store is not None:
             store.journal("interrupted",
                           computed=outcome.computed,
@@ -323,100 +322,3 @@ def _run_serial(todo, options: RunnerOptions, fingerprint: str,
                                      flight=options.flight, case_key=key)
         finalize(case, key, record,
                  time.monotonic() - case_started, attempt=1)
-
-
-def _pool_context():
-    """fork where the platform has it (cheap), spawn elsewhere."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:
-        return multiprocessing.get_context("spawn")
-
-
-def _run_pool(todo, options: RunnerOptions, fingerprint: str,
-              announce, finalize, outcome: SweepOutcome, say) -> None:
-    ctx = _pool_context()
-    pending = deque(todo)                # (case, key) tuples
-    attempts: Dict[str, int] = {}
-    inflight: Dict[int, _InFlight] = {}  # keyed by connection fd
-
-    def dispatch(case: SweepCase, key: str) -> None:
-        attempt = attempts.get(key, 0) + 1
-        attempts[key] = attempt
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        process = ctx.Process(
-            target=_worker_main,
-            args=(case.as_dict(), key, fingerprint, options.verify,
-                  options.flight, child_conn),
-            daemon=True)
-        process.start()
-        child_conn.close()
-        if attempt == 1:
-            announce(case, key)
-        inflight[parent_conn.fileno()] = _InFlight(
-            process, parent_conn, case, key, attempt)
-
-    def give_up(flight: _InFlight, reason: str) -> None:
-        """Retry a crashed/hung case, or record it as failed."""
-        if flight.attempt <= options.retries:
-            say(f"retrying {flight.case.describe()} ({reason})")
-            pending.appendleft((flight.case, flight.case_key))
-            return
-        record = make_record(flight.case_key, flight.case.as_dict(),
-                             fingerprint, "failed", error=reason)
-        finalize(flight.case, flight.case_key, record,
-                 time.monotonic() - flight.started_at, flight.attempt)
-
-    def reap(flight: _InFlight, record: Optional[dict]) -> None:
-        del inflight[flight.conn.fileno()]
-        flight.conn.close()
-        flight.process.join()
-        if record is not None:
-            finalize(flight.case, flight.case_key, record,
-                     time.monotonic() - flight.started_at, flight.attempt)
-        else:
-            code = flight.process.exitcode
-            give_up(flight, f"worker crashed (exit code {code})")
-
-    try:
-        while pending or inflight:
-            stop = (options.stop_after is not None
-                    and outcome.computed
-                    + len(inflight) >= options.stop_after)
-            while pending and len(inflight) < options.workers and not stop:
-                case, key = pending.popleft()
-                dispatch(case, key)
-                stop = (options.stop_after is not None
-                        and outcome.computed
-                        + len(inflight) >= options.stop_after)
-            if not inflight:
-                if stop and pending:
-                    outcome.stopped = True
-                    return
-                continue
-            ready = connection_wait(
-                [flight.conn for flight in inflight.values()],
-                timeout=0.05)
-            for conn in ready:
-                flight = inflight[conn.fileno()]
-                try:
-                    record = conn.recv()
-                except (EOFError, OSError):
-                    record = None        # worker died mid-send
-                reap(flight, record)
-            now = time.monotonic()
-            if options.timeout_s is not None:
-                for flight in list(inflight.values()):
-                    if now - flight.started_at > options.timeout_s:
-                        flight.process.terminate()
-                        flight.process.join()
-                        del inflight[flight.conn.fileno()]
-                        flight.conn.close()
-                        give_up(flight,
-                                f"timeout after {options.timeout_s:g}s")
-    finally:
-        for flight in inflight.values():
-            flight.process.terminate()
-            flight.conn.close()
-        for flight in inflight.values():
-            flight.process.join()

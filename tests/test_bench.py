@@ -96,6 +96,34 @@ class TestSweep:
         assert len(partial[0].points) == 2
         assert len(partial[1].points) == 1
 
+    def test_parallel_interrupt_flushes_partial_series(self, monkeypatch):
+        # The workers>0 path mirrors the serial ^C contract: finished
+        # points ride along on the exception as partial_series.
+        import repro.sweep.runner as runner
+
+        real_run_cases = runner.run_cases
+
+        def interrupted_run_cases(cases, **kwargs):
+            # Compute the first case for real, then "get ^C'd" the way
+            # the distributed runner reports it.
+            outcome = real_run_cases(cases[:1])
+            interrupt = KeyboardInterrupt()
+            interrupt.partial_records = {
+                case.key(): outcome.records.get(case.key())
+                for case in cases}
+            raise interrupt
+
+        monkeypatch.setattr(runner, "run_cases", interrupted_run_cases)
+        with pytest.raises(KeyboardInterrupt) as exc_info:
+            sweep(tiny_spec(), ("thread", "coretime"),
+                  [quick_workload(2), quick_workload(4)],
+                  warmup_cycles=10_000, measure_cycles=20_000,
+                  workers=2)
+        partial = exc_info.value.partial_series
+        assert [s.label for s in partial] == ["thread (partial)"]
+        assert len(partial[0].points) == 1
+        assert partial[0].points[0].kops_per_sec > 0
+
     def test_parallel_matches_serial(self):
         kwargs = dict(warmup_cycles=10_000, measure_cycles=30_000,
                       xs=[2.0, 4.0], seed=3)

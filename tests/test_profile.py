@@ -14,9 +14,10 @@ from repro.obs.events import (ALL_EVENTS, CacheEvicted, CacheInvalidated,
                               LockContended, MigrationStarted,
                               ObjectAssigned, ObjectMoved, OperationFinished,
                               OperationStarted, RebalanceRound, RunMarker,
-                              SchedDecision, SweepCaseFailed,
+                              LeaseExpired, SchedDecision, SweepCaseFailed,
                               SweepCaseFinished, SweepCaseStarted,
-                              ThreadArrived, ThreadFinished, ThreadSpawned)
+                              ThreadArrived, ThreadFinished, ThreadSpawned,
+                              WorkerJoined, WorkerLost)
 from repro.obs.export import SCHEMA_VERSION, events_to_jsonl
 from repro.obs.profile import (MetricDelta, core_breakdown, diff_metrics,
                                diff_streams, folded_stacks, load_jsonl,
@@ -53,6 +54,9 @@ SAMPLE_EVENTS = [
     SweepCaseStarted(0, "ab12cd", "coretime", "dirs320", 7133),
     SweepCaseFinished(1, "ab12cd", "coretime", "dirs320", 812.5, True),
     SweepCaseFailed(2, "ef34ab", "thread", "dirs640", "timeout after 30s"),
+    WorkerJoined(3, "host-1234"),
+    LeaseExpired(4, "ab12cd", "host-1234", 1, "worker lost"),
+    WorkerLost(5, "host-1234", 2),
 ]
 
 

@@ -210,6 +210,24 @@ class TestResultStore:
         entries = store.journal_entries()
         assert [e["event"] for e in entries] == ["started", "finished"]
 
+    def test_journal_survives_corruption_mid_file(self, tmp_path):
+        # A torn line in the *middle* of the journal (crash + disk
+        # reuse, or a partial flush) must not swallow the valid entries
+        # written after it.
+        store = ResultStore(tmp_path / "sw")
+        store.journal("started", case="k1")
+        store.close()
+        with open(store.journal_path, "a") as handle:
+            handle.write('{"event": "trunc\n')
+            handle.write("not json at all\n")
+        store.journal("finished", case="k1")
+        store.journal("started", case="k2")
+        store.close()
+        entries = store.journal_entries()
+        assert [e["event"] for e in entries] \
+            == ["started", "finished", "started"]
+        assert entries[1]["case"] == "k1"
+
     def test_spec_round_trip_and_status(self, tmp_path):
         spec = tiny_sweep()
         store = ResultStore(tmp_path / "sw").create(spec)
@@ -365,6 +383,23 @@ class TestRunnerParallel:
         assert 0 < outcome.computed <= 4
         assert outcome.remaining >= 4
 
+    def test_interrupt_attaches_partial_records(self):
+        # ^C mid-sweep on the pool path: the exception must carry the
+        # finished records so repro-bench can salvage them.
+        spec = tiny_sweep(n_seeds=2)
+
+        def say(message):
+            if message.startswith("done"):
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt) as exc_info:
+            run_sweep(spec, options=quick_options(workers=2),
+                      progress=say)
+        records = exc_info.value.partial_records
+        assert len(records) == 8                       # full key set
+        finished = [r for r in records.values() if r is not None]
+        assert finished and all(r["status"] == "ok" for r in finished)
+
 
 # ---------------------------------------------------------------------------
 # aggregation
@@ -441,7 +476,7 @@ class TestCli:
         captured = capsys.readouterr().out
         assert "+0.0%" in captured
 
-    def test_events_export_parses_as_schema_v4(self, tmp_path, capsys):
+    def test_events_export_parses_as_current_schema(self, tmp_path, capsys):
         from repro.obs.export import SCHEMA_VERSION
         from repro.obs.profile import load_jsonl
         out = str(tmp_path / "sw")
@@ -451,7 +486,7 @@ class TestCli:
                            "--events-out", events_path])
         assert code == 0
         recording = load_jsonl(events_path)
-        assert recording.schema_version == SCHEMA_VERSION == 4
+        assert recording.schema_version == SCHEMA_VERSION == 5
         kinds = {event.kind for event in recording.events}
         assert kinds == {"sweep_start", "sweep_end"}
 
