@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,64 @@ class SampleStats:
         return (f"{self.mean:,.1f} +/- {1.96 * self.stderr:,.1f} "
                 f"(n={self.n}, range {self.minimum:,.1f}"
                 f"..{self.maximum:,.1f})")
+
+
+@dataclass
+class RunningStats:
+    """Streaming, mergeable count/sum/min/max accumulator.
+
+    Unlike :func:`summarise` it never stores samples, so streaming
+    reducers (:mod:`repro.obs.stream`) can keep one per key at constant
+    memory; two partial aggregates over disjoint sample sets fold
+    exactly with :meth:`merge` (integer sums stay integers, and min/max
+    are order-free).  No variance — a mergeable stdev needs Welford-
+    style moments and none of the streaming reports quote one.
+    """
+
+    n: int = 0
+    total: float = 0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Fold ``other`` into self (in place); returns self."""
+        self.n += other.n
+        self.total += other.total
+        if other.minimum is not None and (self.minimum is None
+                                          or other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if other.maximum is not None and (self.maximum is None
+                                          or other.maximum > self.maximum):
+            self.maximum = other.maximum
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "RunningStats":
+        stats = cls()
+        for value in values:
+            stats.add(value)
+        return stats
+
+    def state(self) -> dict:
+        return {"n": self.n, "total": self.total,
+                "min": self.minimum, "max": self.maximum}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RunningStats":
+        return cls(n=state["n"], total=state["total"],
+                   minimum=state["min"], maximum=state["max"])
 
 
 def summarise(values: Sequence[float]) -> SampleStats:

@@ -7,7 +7,10 @@ uses the long profile for the two paper figures.
 Observability: ``--trace-out run.trace.json`` captures every simulator in
 the experiment into one Chrome trace (load it at https://ui.perfetto.dev),
 ``--events-out run.events.jsonl`` dumps the raw event stream for
-``repro-analyze``, ``--metrics-out metrics.json`` dumps the
+``repro-analyze`` (a ``.jsonl.gz`` path gzips it on the way out; the
+analyzer reads either transparently, and ``repro-analyze report
+--stream`` handles recordings of any size in constant memory),
+``--metrics-out metrics.json`` dumps the
 metrics-registry snapshot, ``--profile-out NAME`` writes the offline
 attribution report next to the figure reports, and ``--seed N`` overrides
 the workload RNG seed where the experiment supports it.
@@ -81,7 +84,8 @@ def main(argv=None) -> int:
                              "simulator run to PATH")
     parser.add_argument("--events-out", metavar="PATH", default=None,
                         help="write the raw event stream (JSONL, for "
-                             "repro-analyze) to PATH")
+                             "repro-analyze) to PATH; a .jsonl.gz "
+                             "suffix gzips it")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write the metrics-registry snapshot (JSON) "
                              "to PATH")

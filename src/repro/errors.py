@@ -54,7 +54,11 @@ class ProfileError(ReproError):
 
     Raised by :mod:`repro.obs.profile` for unparsable JSONL, unknown
     event kinds, field mismatches, or a stream whose schema version is
-    newer than the analyzer understands.
+    newer than the analyzer understands, and by :mod:`repro.obs.stream`
+    for invalid profile artifacts or merges of incompatible profiles
+    (mismatched sampling parameters).  Messages name the offending file
+    and line when the input came from disk, so a bad shard in a fleet
+    merge is identifiable.
     """
 
 

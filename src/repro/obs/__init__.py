@@ -144,6 +144,7 @@ class Observability:
         return write_chrome_trace(path, self.events())
 
     def write_jsonl(self, path: str) -> str:
+        """Dump the event log as JSONL; ``.jsonl.gz`` paths gzip it."""
         return write_jsonl(path, self.events())
 
     def ascii_timeline(self, n_cores: Optional[int] = None,

@@ -8,15 +8,25 @@ Record a run first (any experiment accepts the flags)::
 then explain it::
 
     repro-analyze report fig2.events.jsonl        # attribution & co
+    repro-analyze report huge.events.jsonl.gz --stream   # out-of-core
     repro-analyze folded fig2.events.jsonl -o fig2.folded
     repro-analyze timeline fig2.events.jsonl
     repro-analyze diff base.events.jsonl cand.events.jsonl
 
 ``report`` prints per-object attribution, per-core time breakdowns, the
 migration matrix, the lock-contention table and cache-occupancy
-timelines; ``diff`` reports per-metric deltas with confidence intervals
-so scheduler A/Bs and bench-regression gates are one command.  Also
-runnable as ``python -m repro.obs.cli``.
+timelines; ``--stream`` produces the same report in one constant-memory
+pass.  ``diff`` reports per-metric deltas with confidence intervals so
+scheduler A/Bs and bench-regression gates are one command.
+
+Fleet-scale analysis (:mod:`repro.obs.stream`)::
+
+    repro-analyze profile shard0.events.jsonl.gz -o shard0.profile.json
+    repro-analyze merge shards/*.profile.json -o fleet.profile.json
+    repro-analyze tail --connect HOST:PORT       # live sweep attribution
+    repro-analyze synth -o big.events.jsonl.gz --events 2500000
+
+Also runnable as ``python -m repro.obs.cli``.
 """
 
 from __future__ import annotations
@@ -24,13 +34,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
-from repro.errors import ProfileError
-from repro.obs.export import ascii_timeline
-from repro.obs.profile import (Run, diff_metrics, diff_streams,
-                               folded_stacks, load_jsonl, render_diff,
-                               render_report, split_runs)
+from repro.errors import ProfileError, ReproError
+from repro.obs.export import ascii_timeline, open_text, write_jsonl
+from repro.obs.profile import (EventDecoder, Run, diff_metrics,
+                               diff_streams, folded_stacks, load_jsonl,
+                               render_diff, render_report, split_runs)
+from repro.obs.stream import (Profile, RunProfile, StreamProfiler,
+                              load_profile, merge_profiles, synthesize)
 
 
 def _load_runs(path: str, run_filter: Optional[str]) -> List[Run]:
@@ -75,10 +88,68 @@ def _write_or_print(text: str, out: Optional[str]) -> None:
         print(f"wrote {out}")
 
 
+def _apply_rss_limit(max_rss_mb: Optional[int]) -> None:
+    """Hard-cap the address space before any events are read.
+
+    Turns the out-of-core claim into an enforced contract: if a
+    streaming pass buffered the recording, the allocation would fail
+    instead of silently succeeding on a big machine.
+    """
+    if max_rss_mb is None:
+        return
+    if max_rss_mb <= 0:
+        raise ProfileError(f"--max-rss-mb must be positive, got {max_rss_mb}")
+    try:
+        import resource
+    except ImportError:                              # non-POSIX platform
+        raise ProfileError(
+            "--max-rss-mb requires the POSIX resource module")
+    limit = max_rss_mb * 1024 * 1024
+    resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+
+
+def _select_sections(profile: Profile, run_filter: Optional[str],
+                     path: str) -> List[RunProfile]:
+    """Mirror of :func:`_load_runs` filtering, over profile sections."""
+    sections = profile.sections
+    if run_filter is None:
+        return sections
+    try:
+        index = int(run_filter)
+    except ValueError:
+        selected = [section for section in sections
+                    if section.display_label == run_filter]
+        if not selected:
+            raise ProfileError(
+                f"{path}: no run labelled {run_filter!r}; stream has "
+                f"{[section.display_label for section in sections]}")
+        return selected
+    if not 0 <= index < len(sections):
+        raise ProfileError(
+            f"{path}: run index {index} out of range (stream has "
+            f"{len(sections)} runs)")
+    return [sections[index]]
+
+
+def _stream_report_parts(args) -> List[str]:
+    """One rendered report per selected run, in a single streaming pass."""
+    profiler = StreamProfiler()
+    profiler.feed_path(args.events)
+    if profiler.events_seen == 0:
+        raise ProfileError(f"{args.events}: stream contains no events")
+    sections = _select_sections(profiler.profile, args.run, args.events)
+    return [section.render(top=args.top, width=args.width)
+            for section in sections]
+
+
 def _cmd_report(args) -> int:
-    runs = _load_runs(args.events, args.run)
-    parts = [render_report(run, top=args.top, width=args.width)
-             for run in runs]
+    _apply_rss_limit(args.max_rss_mb)
+    if args.stream:
+        parts = _stream_report_parts(args)
+    else:
+        runs = _load_runs(args.events, args.run)
+        parts = [render_report(run, top=args.top, width=args.width)
+                 for run in runs]
     if args.metrics:
         with open(args.metrics, "r", encoding="utf-8") as handle:
             snapshot = json.load(handle)
@@ -129,6 +200,87 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    _apply_rss_limit(args.max_rss_mb)
+    profiler = StreamProfiler().feed_path(args.events)
+    if profiler.events_seen == 0:
+        raise ProfileError(f"{args.events}: stream contains no events")
+    with open_text(args.out, "w") as handle:
+        handle.write(profiler.profile.to_json() + "\n")
+    print(f"wrote {args.out} ({profiler.events_seen:,} events, "
+          f"{len(profiler.profile.sections)} run(s))")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    merged = merge_profiles([load_profile(path) for path in args.profiles])
+    wrote = False
+    if args.out is not None:
+        with open_text(args.out, "w") as handle:
+            handle.write(merged.to_json() + "\n")
+        print(f"wrote {args.out} ({len(args.profiles)} shard(s), "
+              f"{merged.total_events:,} events)")
+        wrote = True
+    if args.report or not wrote:
+        _write_or_print(merged.render(top=args.top, width=args.width), None)
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    # Lazy: the analyzer works without the sweep layer installed wiring.
+    from repro.sweep.dist.transport import connect
+
+    profiler = StreamProfiler()
+    decoder = EventDecoder(source=args.connect)
+    channel = connect(args.connect)
+    try:
+        channel.send({"type": "watch"})
+        last_render = time.monotonic()
+        while True:
+            frame = channel.recv()
+            if frame is None or frame.get("type") == "drain":
+                break
+            kind = frame.get("type")
+            if kind == "meta":
+                decoder.decode(
+                    {"kind": "meta",
+                     "schema_version": frame.get("schema_version")},
+                    where="watch meta")
+            elif kind == "event":
+                event = decoder.decode(
+                    frame.get("event", {}),
+                    where=f"frame {profiler.events_seen + 1}")
+                if event is not None:
+                    profiler.feed(event)
+            else:
+                continue                 # future frame kinds: skip
+            if args.max_events and profiler.events_seen >= args.max_events:
+                break
+            now = time.monotonic()
+            if (args.interval > 0 and profiler.events_seen
+                    and now - last_render >= args.interval):
+                print(profiler.render(top=args.top, width=args.width))
+                print(flush=True)
+                last_render = now
+    finally:
+        channel.close()
+    if profiler.events_seen == 0:
+        print("(watch feed closed before any events)", file=sys.stderr)
+        return 1
+    _write_or_print(profiler.render(top=args.top, width=args.width),
+                    args.out)
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    write_jsonl(args.out,
+                synthesize(args.events, seed=args.seed, label=args.label,
+                           n_cores=args.cores, n_objects=args.objects,
+                           n_threads=args.threads))
+    print(f"wrote {args.out} ({args.events:,} events)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
@@ -148,6 +300,15 @@ def main(argv=None) -> int:
                         help="timeline width in columns (default 72)")
     report.add_argument("--run", default=None,
                         help="restrict to one run (label or index)")
+    report.add_argument("--stream", action="store_true",
+                        help="single-pass constant-memory ingest; output "
+                             "is byte-identical to the batch path (runs "
+                             "sharing a label fold into one section)")
+    report.add_argument("--max-rss-mb", type=int, default=None,
+                        metavar="MB",
+                        help="hard address-space cap applied before "
+                             "reading anything (POSIX only; proves the "
+                             "streaming path is out-of-core)")
     report.add_argument("-o", "--out", default=None,
                         help="write the report to a file instead of stdout")
     report.set_defaults(func=_cmd_report)
@@ -186,10 +347,72 @@ def main(argv=None) -> int:
                           help="restrict to one run (label or index)")
     timeline.set_defaults(func=_cmd_timeline)
 
+    profile = sub.add_parser(
+        "profile", help="stream a recording into a mergeable profile "
+                        "artifact (constant memory)")
+    profile.add_argument("events", help="events JSONL path (.gz ok)")
+    profile.add_argument("-o", "--out", required=True,
+                         help="profile JSON output path (.gz ok)")
+    profile.add_argument("--max-rss-mb", type=int, default=None,
+                         metavar="MB",
+                         help="hard address-space cap (POSIX only)")
+    profile.set_defaults(func=_cmd_profile)
+
+    merge = sub.add_parser(
+        "merge", help="merge per-shard profile artifacts; equals the "
+                      "profile of the concatenated recordings")
+    merge.add_argument("profiles", nargs="+",
+                       help="profile JSON paths (repro-analyze profile "
+                            "output, or sweep --profile-dir shards)")
+    merge.add_argument("-o", "--out", default=None,
+                       help="write the merged profile JSON (.gz ok); "
+                            "without it the merged report is printed")
+    merge.add_argument("--report", action="store_true",
+                       help="also print the merged report")
+    merge.add_argument("--top", type=int, default=10,
+                       help="rows in top-N tables (default 10)")
+    merge.add_argument("--width", type=int, default=72,
+                       help="timeline width in columns (default 72)")
+    merge.set_defaults(func=_cmd_merge)
+
+    tail = sub.add_parser(
+        "tail", help="attach to a live sweep coordinator's watch feed "
+                     "and profile it as it streams")
+    tail.add_argument("--connect", required=True, metavar="HOST:PORT",
+                      help="coordinator watch address "
+                           "(repro-sweep run --serve)")
+    tail.add_argument("--interval", type=float, default=2.0,
+                      help="seconds between interim reports "
+                           "(default 2.0; 0 disables)")
+    tail.add_argument("--max-events", type=int, default=None,
+                      help="detach after this many events")
+    tail.add_argument("--top", type=int, default=10,
+                      help="rows in top-N tables (default 10)")
+    tail.add_argument("--width", type=int, default=72,
+                      help="timeline width in columns (default 72)")
+    tail.add_argument("-o", "--out", default=None,
+                      help="write the final report to a file")
+    tail.set_defaults(func=_cmd_tail)
+
+    synth = sub.add_parser(
+        "synth", help="generate a synthetic recording of any size "
+                      "(deterministic per seed; exercises every reducer)")
+    synth.add_argument("-o", "--out", required=True,
+                       help="events JSONL output path (.gz recommended)")
+    synth.add_argument("--events", type=int, required=True,
+                       help="number of events to generate")
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--label", default="synthetic",
+                       help="run label (default 'synthetic')")
+    synth.add_argument("--cores", type=int, default=8)
+    synth.add_argument("--objects", type=int, default=64)
+    synth.add_argument("--threads", type=int, default=32)
+    synth.set_defaults(func=_cmd_synth)
+
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ProfileError as exc:
+    except ReproError as exc:
         print(f"repro-analyze: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:

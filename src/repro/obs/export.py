@@ -19,8 +19,10 @@ are exact.
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO
 
 from repro.obs.events import (CacheEvicted, CacheInvalidated, Event,
                               LockContended, MigrationStarted,
@@ -42,6 +44,44 @@ SCHEDULER_TRACK = 10_000
 #: ``sweep_fail``); version 5 added the distributed-sweep kinds
 #: (``worker_join``, ``worker_lost``, ``lease_expired``).
 SCHEMA_VERSION = 5
+
+
+class _DeterministicGzipText(io.TextIOWrapper):
+    """Text writer over a gzip member with a pinned (zero) mtime.
+
+    ``gzip.open(..., "wt")`` stamps the current time into the member
+    header, which would break the byte-reproducibility contract of
+    :func:`jsonl_meta_line`; this wrapper pins ``mtime=0`` and closes
+    the underlying file (``GzipFile`` deliberately leaves it open).
+    """
+
+    def __init__(self, path: str) -> None:
+        self._raw_file = open(path, "wb")
+        gz = gzip.GzipFile(filename="", fileobj=self._raw_file,
+                           mode="wb", mtime=0)
+        super().__init__(gz, encoding="utf-8", newline="")
+
+    def close(self) -> None:
+        try:
+            super().close()          # flush text + gzip trailer
+        finally:
+            if not self._raw_file.closed:
+                self._raw_file.close()
+
+
+def open_text(path: str, mode: str = "r") -> TextIO:
+    """Open ``path`` as text; ``.gz`` suffixes gzip transparently.
+
+    Reading accepts multi-member archives (``cat a.gz b.gz`` of two
+    shards is a valid recording); writing produces deterministic bytes
+    (member mtime pinned to 0) so gzip recordings stay reproducible.
+    Only ``"r"`` and ``"w"`` modes are supported for gzip targets.
+    """
+    if not str(path).endswith(".gz"):
+        return open(path, mode, encoding="utf-8")
+    if "r" in mode:
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return _DeterministicGzipText(path)
 
 
 def chrome_trace(events: Sequence[Event],
@@ -144,7 +184,7 @@ def write_chrome_trace(path: str, events: Sequence[Event],
                        default_label: str = "run") -> str:
     """Serialise :func:`chrome_trace` to ``path``; returns the path."""
     document = chrome_trace(events, default_label)
-    with open(path, "w", encoding="utf-8") as handle:
+    with open_text(path, "w") as handle:
         json.dump(document, handle)
         handle.write("\n")
     return path
@@ -179,8 +219,18 @@ def events_to_jsonl(events: Iterable[Event]) -> str:
 
 
 def write_jsonl(path: str, events: Iterable[Event]) -> str:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(events_to_jsonl(events) + "\n")
+    """Write a JSONL recording; ``.jsonl.gz`` paths are gzipped.
+
+    Streams one event at a time (``events`` may be a generator of any
+    length) and produces bytes identical to ``events_to_jsonl`` plus a
+    trailing newline.
+    """
+    with open_text(path, "w") as handle:
+        handle.write(jsonl_meta_line() + "\n")
+        for event in events:
+            handle.write(json.dumps(event.as_dict(),
+                                    separators=(",", ":"),
+                                    sort_keys=True) + "\n")
     return path
 
 

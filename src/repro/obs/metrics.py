@@ -158,6 +158,30 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into self (in place); returns self.
+
+        Fixed buckets make two partial histograms over disjoint
+        observation sets combine exactly — the property the streaming
+        profiler's merge law (:mod:`repro.obs.stream`) relies on.  The
+        bounds must match.
+        """
+        if other.bounds != self.bounds:
+            raise ConfigError(
+                f"histogram {self.name}: cannot merge with different "
+                f"buckets ({other.name})")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total += other.total
+        if other._min is not None and (self._min is None
+                                       or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None
+                                       or other._max > self._max):
+            self._max = other._max
+        return self
+
     def summary(self) -> HistogramSummary:
         cumulative = 0
         pairs: List[Tuple[float, int]] = []

@@ -25,21 +25,20 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import (Any, Dict, Iterable, List, Optional, Sequence, Tuple,
-                    Type)
+from typing import (Any, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Type)
 
 from repro.analysis import SampleStats, summarise
 from repro.errors import ProfileError
 from repro.obs.events import (EVENT_KINDS, CacheEvicted, CacheInvalidated,
                               Event, LockContended, MigrationStarted,
-                              ObjectAssigned, ObjectMoved,
-                              OperationFinished, OperationStarted,
-                              RunMarker)
-from repro.obs.export import SCHEMA_VERSION
+                              OperationFinished, RunMarker)
+from repro.obs.export import SCHEMA_VERSION, open_text
 
 __all__ = [
     "Recording", "Run", "ObjectCost", "CoreBreakdown", "LockStat",
-    "StreamSummary", "MetricDelta", "load_jsonl", "parse_jsonl",
+    "StreamSummary", "MetricDelta", "EventDecoder", "load_jsonl",
+    "parse_jsonl", "iter_jsonl",
     "split_runs", "object_costs", "core_breakdown", "migration_matrix",
     "lock_table", "occupancy_timeline", "folded_stacks",
     "summarise_stream", "diff_streams", "render_report", "render_diff",
@@ -71,7 +70,81 @@ def _fields_of(cls: Type[Event]) -> Tuple[str, ...]:
     return tuple(names)
 
 
-def parse_jsonl(lines: Iterable[str]) -> Recording:
+class EventDecoder:
+    """Incremental JSONL/dict -> typed-event decoder.
+
+    One decoder carries the stream's schema state (the ``meta`` header)
+    across lines, so both the batch loader and the generator-based
+    streaming ingest share identical validation.  Error messages are
+    prefixed with ``source`` when given — with ``repro-analyze merge``
+    taking many shard files, a bare ``line N`` is ambiguous.
+
+    Repeated ``meta`` lines are accepted mid-stream: concatenated shard
+    recordings (``cat a.jsonl.gz b.jsonl.gz``) are valid streams.
+    """
+
+    def __init__(self, source: Optional[str] = None) -> None:
+        self.source = source
+        self.schema = 1          # headerless = legacy
+        self.saw_meta = False
+
+    def _error(self, where: str, message: str) -> ProfileError:
+        prefix = f"{self.source}: " if self.source else ""
+        return ProfileError(f"{prefix}{where}: {message}")
+
+    def decode_line(self, raw: str, lineno: int) -> Optional[Event]:
+        """Decode one text line; None for blanks and ``meta`` headers."""
+        line = raw.strip()
+        if not line:
+            return None
+        where = f"line {lineno}"
+        try:
+            data = json.loads(line)
+        except ValueError as exc:
+            raise self._error(where, f"not valid JSON: {exc}")
+        if not isinstance(data, dict) or "kind" not in data:
+            raise self._error(
+                where, "expected an object with a 'kind' field")
+        return self.decode(data, where)
+
+    def decode(self, data: Dict[str, Any],
+               where: str = "event") -> Optional[Event]:
+        """Decode one ``as_dict``-shaped mapping; None for ``meta``."""
+        kind = data["kind"]
+        if kind == "meta":
+            version = data.get("schema_version")
+            if not isinstance(version, int) or version < 1:
+                raise self._error(
+                    where, f"bad schema_version {version!r}")
+            if version > SCHEMA_VERSION:
+                raise self._error(
+                    where, f"stream schema version {version} is "
+                    f"newer than this analyzer ({SCHEMA_VERSION}); "
+                    "upgrade repro")
+            self.schema = version
+            self.saw_meta = True
+            return None
+        cls = EVENT_KINDS.get(kind)
+        if cls is None:
+            raise self._error(where, f"unknown event kind {kind!r}")
+        fields = _fields_of(cls)
+        given = set(data) - {"kind"}
+        missing = set(fields) - given
+        extra = given - set(fields)
+        if extra:
+            raise self._error(
+                where, f"{kind} carries unknown fields {sorted(extra)}")
+        if missing and (self.schema >= SCHEMA_VERSION or self.saw_meta):
+            raise self._error(
+                where, f"{kind} is missing fields {sorted(missing)}")
+        event = object.__new__(cls)
+        for name in fields:
+            setattr(event, name, data.get(name))
+        return event
+
+
+def parse_jsonl(lines: Iterable[str],
+                source: Optional[str] = None) -> Recording:
     """Reconstruct typed events from JSONL text lines.
 
     Validates the ``meta`` header's ``schema_version`` (streams newer
@@ -81,60 +154,39 @@ def parse_jsonl(lines: Iterable[str]) -> Recording:
     schema version 1, where the attribution fields introduced in
     version 2 are absent and default to None.
     """
-    schema = 1          # headerless = legacy
-    saw_meta = False
+    decoder = EventDecoder(source=source)
     events: List[Event] = []
     for lineno, raw in enumerate(lines, 1):
-        line = raw.strip()
-        if not line:
-            continue
-        try:
-            data = json.loads(line)
-        except ValueError as exc:
-            raise ProfileError(f"line {lineno}: not valid JSON: {exc}")
-        if not isinstance(data, dict) or "kind" not in data:
-            raise ProfileError(
-                f"line {lineno}: expected an object with a 'kind' field")
-        kind = data["kind"]
-        if kind == "meta":
-            version = data.get("schema_version")
-            if not isinstance(version, int) or version < 1:
-                raise ProfileError(
-                    f"line {lineno}: bad schema_version {version!r}")
-            if version > SCHEMA_VERSION:
-                raise ProfileError(
-                    f"line {lineno}: stream schema version {version} is "
-                    f"newer than this analyzer ({SCHEMA_VERSION}); "
-                    "upgrade repro")
-            schema = version
-            saw_meta = True
-            continue
-        cls = EVENT_KINDS.get(kind)
-        if cls is None:
-            raise ProfileError(f"line {lineno}: unknown event kind {kind!r}")
-        fields = _fields_of(cls)
-        given = set(data) - {"kind"}
-        missing = set(fields) - given
-        extra = given - set(fields)
-        if extra:
-            raise ProfileError(
-                f"line {lineno}: {kind} carries unknown fields "
-                f"{sorted(extra)}")
-        if missing and (schema >= SCHEMA_VERSION or saw_meta):
-            raise ProfileError(
-                f"line {lineno}: {kind} is missing fields "
-                f"{sorted(missing)}")
-        event = object.__new__(cls)
-        for name in fields:
-            setattr(event, name, data.get(name))
-        events.append(event)
-    return Recording(schema_version=schema, events=events)
+        event = decoder.decode_line(raw, lineno)
+        if event is not None:
+            events.append(event)
+    return Recording(schema_version=decoder.schema, events=events)
 
 
 def load_jsonl(path: str) -> Recording:
-    """Parse a JSONL file written by ``Observability.write_jsonl``."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return parse_jsonl(handle)
+    """Parse a JSONL file written by ``Observability.write_jsonl``.
+
+    ``.jsonl.gz`` recordings are opened transparently; parse errors name
+    the file.
+    """
+    with open_text(path, "r") as handle:
+        return parse_jsonl(handle, source=path)
+
+
+def iter_jsonl(path: str) -> Iterator[Event]:
+    """Stream a recording one event at a time (out-of-core ingest).
+
+    A generator over the same validation as :func:`load_jsonl` that
+    never holds more than one event, so multi-GB fleet recordings
+    (plain or ``.gz``) can feed :class:`repro.obs.stream.StreamProfiler`
+    at constant memory.
+    """
+    decoder = EventDecoder(source=path)
+    with open_text(path, "r") as handle:
+        for lineno, raw in enumerate(handle, 1):
+            event = decoder.decode_line(raw, lineno)
+            if event is not None:
+                yield event
 
 
 @dataclass
@@ -223,43 +275,16 @@ def object_costs(events: Sequence[Event]) -> List[ObjectCost]:
     Migrations are charged to the object of the operation in progress on
     the migrating thread; a migration outside any operation is nobody's
     fault and lands on the pseudo-object ``(no operation)``.
+
+    Thin wrapper over the streaming
+    :class:`repro.obs.stream.ObjectCostsReducer` (single source of
+    truth for the attribution rules).
     """
-    costs: Dict[str, ObjectCost] = {}
-
-    def cost(name: str) -> ObjectCost:
-        entry = costs.get(name)
-        if entry is None:
-            entry = costs[name] = ObjectCost(name)
-        return entry
-
-    in_op: Dict[str, str] = {}           # thread -> object name
+    from repro.obs.stream import ObjectCostsReducer
+    reducer = ObjectCostsReducer()
     for event in events:
-        etype = type(event)
-        if etype is OperationStarted:
-            in_op[event.thread] = event.obj
-        elif etype is OperationFinished:
-            entry = cost(event.obj)
-            entry.ops += 1
-            entry.cycles += event.cycles
-            if event.dram is not None:
-                entry.attributed_ops += 1
-                entry.dram_loads += event.dram
-                entry.remote_hits += event.remote
-                entry.mem_stall_cycles += event.mem_stall
-                entry.spin_cycles += event.spin
-            in_op.pop(event.thread, None)
-        elif etype is MigrationStarted:
-            entry = cost(in_op.get(event.thread, "(no operation)"))
-            entry.migrations += 1
-            entry.migration_cycles += event.arrive_ts - event.ts
-        elif etype is CacheEvicted:
-            if event.obj is not None:
-                cost(event.obj).evictions += 1
-        elif etype is CacheInvalidated:
-            if event.obj is not None:
-                cost(event.obj).invalidations += event.copies
-    return sorted(costs.values(),
-                  key=lambda c: (-c.total_cycles, c.name))
+        reducer.feed(event)
+    return reducer.result()
 
 
 # ---------------------------------------------------------------------------
@@ -308,31 +333,13 @@ class CoreBreakdown:
 def core_breakdown(events: Sequence[Event],
                    horizon: Optional[int] = None) -> List[CoreBreakdown]:
     """Per-core busy/mem-stall/spin/migrating/idle attribution."""
+    from repro.obs.stream import CoreBreakdownReducer
     if horizon is None:
         horizon = stream_horizon(events)
-    cores: Dict[int, CoreBreakdown] = {}
-
-    def entry(core_id: int) -> CoreBreakdown:
-        item = cores.get(core_id)
-        if item is None:
-            item = cores[core_id] = CoreBreakdown(core_id, horizon)
-        return item
-
+    reducer = CoreBreakdownReducer()
     for event in events:
-        etype = type(event)
-        if etype is OperationFinished:
-            item = entry(event.core)
-            item.ops += 1
-            if event.mem_stall is not None:
-                item.busy += event.cycles
-                item.mem_stall += event.mem_stall
-                item.spin += event.spin
-            else:
-                item.unplaced_ops += 1
-                item.unplaced_cycles += event.cycles
-        elif etype is MigrationStarted:
-            entry(event.core).migrating += event.arrive_ts - event.ts
-    return [cores[core_id] for core_id in sorted(cores)]
+        reducer.feed(event)
+    return reducer.result(horizon)
 
 
 # ---------------------------------------------------------------------------
@@ -341,12 +348,11 @@ def core_breakdown(events: Sequence[Event],
 
 def migration_matrix(events: Sequence[Event]) -> Dict[Tuple[int, int], int]:
     """``(from_core, to_core) -> count`` over all migrations."""
-    matrix: Dict[Tuple[int, int], int] = {}
+    from repro.obs.stream import MigrationMatrixReducer
+    reducer = MigrationMatrixReducer()
     for event in events:
-        if type(event) is MigrationStarted:
-            key = (event.core, event.target)
-            matrix[key] = matrix.get(key, 0) + 1
-    return matrix
+        reducer.feed(event)
+    return reducer.result()
 
 
 @dataclass
@@ -367,18 +373,11 @@ class LockStat:
 
 def lock_table(events: Sequence[Event]) -> List[LockStat]:
     """Per-lock contention, most contended first."""
-    locks: Dict[str, LockStat] = {}
+    from repro.obs.stream import LockTableReducer
+    reducer = LockTableReducer()
     for event in events:
-        if type(event) is not LockContended:
-            continue
-        stat = locks.get(event.lock)
-        if stat is None:
-            stat = locks[event.lock] = LockStat(event.lock)
-        stat.contended_acquires += 1
-        stat.threads.add(event.thread)
-        stat.per_core[event.core] = stat.per_core.get(event.core, 0) + 1
-    return sorted(locks.values(),
-                  key=lambda s: (-s.contended_acquires, s.name))
+        reducer.feed(event)
+    return reducer.result()
 
 
 # ---------------------------------------------------------------------------
@@ -393,53 +392,17 @@ def occupancy_timeline(events: Sequence[Event], n_cores: Optional[int] = None,
     the glyph is the number of objects assigned to that core's cache at
     the bucket's end (``0``–``9``, then ``+``).  A consistently high row
     next to starved rows is the paper's overpacked-cache signal.
+
+    Wrapper over :class:`repro.obs.stream.OccupancyReducer` with the
+    same default sample capacity, so batch and streaming reports prune
+    (and annotate) giant recordings identically.
     """
-    changes: List[Tuple[int, int, int]] = []     # (ts, core, delta)
-    horizon = 0
-    max_core = -1
+    from repro.obs.stream import OccupancyReducer
+    reducer = OccupancyReducer()
     for event in events:
-        etype = type(event)
-        if etype is ObjectAssigned:
-            changes.append((event.ts, event.core, +1))
-        elif etype is ObjectMoved:
-            changes.append((event.ts, event.core, -1))
-            changes.append((event.ts, event.target, +1))
-            if event.target > max_core:
-                max_core = event.target
-        else:
-            continue
-        if event.ts > horizon:
-            horizon = event.ts
-        if event.core > max_core:
-            max_core = event.core
-    if not changes:
-        return "(no assignment events recorded)"
-    full_horizon = max(horizon, stream_horizon(events))
-    if n_cores is None:
-        n_cores = max_core + 1
-    width = max(8, width)
-    # width * bucket must strictly exceed the horizon so an event at
-    # exactly ts == horizon still lands inside the final column.
-    bucket = full_horizon // width + 1
-    counts = [0] * n_cores
-    rows = [["0"] * width for _ in range(n_cores)]
-    changes.sort(key=lambda item: item[0])
-    index = 0
-    for column in range(width):
-        edge = (column + 1) * bucket
-        while index < len(changes) and changes[index][0] < edge:
-            _, core_id, delta = changes[index]
-            if core_id < n_cores:
-                counts[core_id] += delta
-            index += 1
-        for core_id in range(n_cores):
-            count = counts[core_id]
-            rows[core_id][column] = str(count) if 0 <= count <= 9 else "+"
-    lines = [f"assigned objects per cache  (bucket = {bucket:,} cycles)"]
-    for core_id in range(n_cores):
-        lines.append(f"core {core_id:>3} |{''.join(rows[core_id])}|")
-    lines.append(f"         0{'cycles'.center(width - 1)}{full_horizon:,}")
-    return "\n".join(lines)
+        reducer.feed(event)
+    return reducer.render(stream_horizon(events), n_cores=n_cores,
+                          width=width)
 
 
 # ---------------------------------------------------------------------------
@@ -689,9 +652,11 @@ def render_object_costs(costs: Sequence[ObjectCost],
         ["object", "ops", "cycles", "cyc/op", "dram/op", "remote/op",
          "stall", "spin/op", "migr", "migr-cyc"], rows)
     shown = min(top, len(costs))
+    dropped = len(costs) - shown
+    note = f"; {dropped:,} rows dropped" if dropped else ""
     return (f"Per-object attribution (top {shown} of {len(costs)} "
             "by total cycles; dram/remote/stall/spin over attributed "
-            f"ops)\n{table}")
+            f"ops{note})\n{table}")
 
 
 def render_core_breakdown(cores: Sequence[CoreBreakdown]) -> str:
@@ -744,7 +709,11 @@ def render_lock_table(locks: Sequence[LockStat], top: int = 10) -> str:
     rows = [[stat.name, f"{stat.contended_acquires:,}",
              str(len(stat.threads)), str(stat.hottest_core)]
             for stat in locks[:top]]
-    return ("Lock contention (one event per contended acquire)\n"
+    shown = min(top, len(locks))
+    dropped = len(locks) - shown
+    note = (f" (top {shown} of {len(locks)}; {dropped:,} rows dropped)"
+            if dropped else "")
+    return (f"Lock contention (one event per contended acquire){note}\n"
             + _table(["lock", "contended", "threads", "hottest core"],
                      rows))
 
@@ -775,24 +744,16 @@ def render_diff(deltas: Sequence[MetricDelta]) -> str:
 
 
 def render_report(run: Run, top: int = 10, width: int = 72) -> str:
-    """Full offline report for one run: every §4 explanation as text."""
-    events = run.events
-    sections = [
-        f"=== run: {run.label} "
-        f"({len(events):,} events, horizon "
-        f"{stream_horizon(events):,} cycles) ===",
-        "",
-        render_object_costs(object_costs(events), top=top),
-        "",
-        render_core_breakdown(core_breakdown(events)),
-        "",
-        render_migration_matrix(migration_matrix(events)),
-        "",
-        render_lock_table(lock_table(events), top=top),
-        "",
-        occupancy_timeline(events, width=width),
-    ]
-    return "\n".join(sections)
+    """Full offline report for one run: every §4 explanation as text.
+
+    Rebased on the streaming core: one :class:`repro.obs.stream
+    .RunProfile` fed with the run's events renders exactly this report,
+    which is what makes ``repro-analyze report --stream`` byte-identical
+    to the batch path.
+    """
+    from repro.obs.stream import RunProfile
+    return RunProfile.from_events(run.label, run.events).render(
+        top=top, width=width)
 
 
 def render_stream_report(events: Sequence[Event], top: int = 10,

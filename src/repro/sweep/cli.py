@@ -72,7 +72,8 @@ def _runner_options(args) -> RunnerOptions:
     options = RunnerOptions(
         workers=workers, timeout_s=args.timeout, retries=args.retries,
         verify=args.verify, stop_after=args.stop_after,
-        lease_ttl_s=args.ttl)
+        lease_ttl_s=args.ttl,
+        profile_dir=getattr(args, "profile_dir", None))
     options.validate()
     return options
 
@@ -87,6 +88,27 @@ def _records_in_grid_order(store: ResultStore, spec: SweepSpec) -> list:
     return [store.get(case.key()) for case in spec.expand()]
 
 
+def _merge_shard_profiles(profile_dir: str) -> None:
+    """Fold every ``*.profile.json`` shard into ``fleet.profile.json``."""
+    import glob
+
+    from repro.obs.stream import load_profile, merge_profiles
+    fleet_path = os.path.join(profile_dir, "fleet.profile.json")
+    shard_paths = sorted(
+        path for path in glob.glob(
+            os.path.join(profile_dir, "*.profile.json"))
+        if os.path.abspath(path) != os.path.abspath(fleet_path))
+    if not shard_paths:
+        print(f"profiles: no shard profiles under {profile_dir} "
+              "(all cells cached?)")
+        return
+    merged = merge_profiles([load_profile(path) for path in shard_paths])
+    with open(fleet_path, "w", encoding="utf-8") as handle:
+        handle.write(merged.to_json() + "\n")
+    print(f"profiles: {len(shard_paths)} shard(s) merged -> {fleet_path} "
+          f"({merged.total_events:,} events)")
+
+
 def _finish(store: ResultStore, spec: SweepSpec, outcome,
             args) -> int:
     print(f"sweep {spec.name}: {outcome.computed} computed, "
@@ -97,6 +119,8 @@ def _finish(store: ResultStore, spec: SweepSpec, outcome,
         records = _records_in_grid_order(store, spec)
         export_events_jsonl(args.events_out, records)
         print(f"events -> {args.events_out}")
+    if getattr(args, "profile_dir", None):
+        _merge_shard_profiles(args.profile_dir)
     if outcome.stopped:
         print("stopped early (--stop-after); run `repro-sweep resume "
               f"{store.root}` to finish")
@@ -176,11 +200,22 @@ def cmd_work(args: argparse.Namespace) -> int:
     from repro.sweep.dist.transport import connect
     from repro.sweep.dist.worker import work_loop
     name = args.name or f"{socket.gethostname()}-{os.getpid()}"
+    recorder = None
+    if args.profile_dir is not None:
+        from repro.obs.stream import ShardRecorder
+        recorder = ShardRecorder(args.profile_dir, name)
     channel = connect(args.connect)
-    computed = work_loop(channel, name, fingerprint=code_fingerprint(),
-                         say=_progress(args.quiet),
-                         max_cases=args.max_cases,
-                         fail_after=args.fail_after)
+    try:
+        computed = work_loop(
+            channel, name, fingerprint=code_fingerprint(),
+            say=_progress(args.quiet), max_cases=args.max_cases,
+            fail_after=args.fail_after,
+            event_sink=recorder.record if recorder is not None else None)
+    finally:
+        if recorder is not None:
+            shard = recorder.close()
+            if shard is not None:
+                print(f"shard profile -> {shard}")
     print(f"worker {name}: {computed} case(s) computed")
     return 0
 
@@ -330,6 +365,12 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--events-out", metavar="PATH", default=None,
                         help="write the sweep as a schema-v5 obs event "
                              "stream (JSONL)")
+    parser.add_argument("--profile-dir", metavar="DIR", default=None,
+                        help="record per-worker shard event streams "
+                             "(.events.jsonl.gz) and streaming profiles "
+                             "here; shards auto-merge into "
+                             "fleet.profile.json (see repro-analyze "
+                             "merge)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress and the final "
                              "report")
@@ -397,6 +438,10 @@ def main(argv=None) -> int:
     work.add_argument("--fail-after", type=int, default=None,
                       help="hard-exit while holding a lease after N "
                            "cases (crash test hook)")
+    work.add_argument("--profile-dir", metavar="DIR", default=None,
+                      help="record this worker's shard event stream and "
+                           "streaming profile here (merge shards with "
+                           "repro-analyze merge)")
     work.add_argument("--quiet", action="store_true",
                       help="suppress per-case progress")
     work.set_defaults(func=cmd_work)

@@ -27,6 +27,7 @@ import asyncio
 import multiprocessing
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional
 
@@ -252,7 +253,8 @@ class LocalTransport(Transport):
 
     name = "local"
 
-    def __init__(self, workers: int, context=None) -> None:
+    def __init__(self, workers: int, context=None,
+                 profile_dir: Optional[str] = None) -> None:
         if workers < 1:
             raise ConfigError("local transport needs >= 1 worker")
         self.workers = workers
@@ -261,6 +263,7 @@ class LocalTransport(Transport):
         self._channels: List[PipeChannel] = []
         self._on_channel: Optional[Callable[[Channel], None]] = None
         self._counter = 0
+        self._profile_dir = profile_dir
 
     async def start(self,
                     on_channel: Callable[[Channel], None]) -> None:
@@ -280,8 +283,9 @@ class LocalTransport(Transport):
         name = f"local-{self._counter}"
         self._counter += 1
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(target=local_worker_main,
-                                    args=(child_conn, name), daemon=True)
+        process = self._ctx.Process(
+            target=local_worker_main,
+            args=(child_conn, name, self._profile_dir), daemon=True)
         process.start()
         child_conn.close()
         channel = PipeChannel(parent_conn, process, self._executor, name)
@@ -295,6 +299,18 @@ class LocalTransport(Transport):
             self._spawn()
 
     async def stop(self) -> None:
+        if self._profile_dir is not None:
+            # Recording workers flush their shard recording + streaming
+            # profile once their channel drains; close the pipes first
+            # (EOF unblocks a worker parked in recv) and give them a
+            # grace period before resorting to terminate, so the shard
+            # files land complete.
+            for channel in self._channels:
+                channel.close()
+            deadline = time.monotonic() + 5.0
+            for channel in self._channels:
+                channel.process.join(
+                    timeout=max(0.0, deadline - time.monotonic()))
         for channel in self._channels:
             if channel.process.is_alive():
                 channel.process.terminate()

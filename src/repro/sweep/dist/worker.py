@@ -42,14 +42,18 @@ def work_loop(channel: WorkerChannel, name: str,
               fingerprint: Optional[str] = None,
               say: Optional[Callable[[str], None]] = None,
               max_cases: Optional[int] = None,
-              fail_after: Optional[int] = None) -> int:
+              fail_after: Optional[int] = None,
+              event_sink: Optional[Callable] = None) -> int:
     """Serve leases from ``channel`` until drained; returns cases done.
 
     ``fingerprint`` is this worker's :func:`~repro.sweep.spec.
     code_fingerprint`; pass None only for trusted local pipe workers
     (they share the coordinator's tree by construction).  Raises
     :class:`~repro.errors.ConfigError` if the coordinator rejects the
-    handshake (fingerprint or name mismatch).
+    handshake (fingerprint or name mismatch).  ``event_sink(case, key,
+    events)`` receives each computed case's event recording (a shard
+    recorder, usually) — results stay records-only on the wire; the
+    recording lands next to the worker.
     """
     from repro.sweep.runner import execute_case_record
     from repro.sweep.spec import SweepCase
@@ -113,7 +117,7 @@ def work_loop(channel: WorkerChannel, name: str,
                 case, reply["fingerprint"],
                 verify=bool(reply.get("verify", False)),
                 flight=int(reply.get("flight", 0)),
-                case_key=reply["key"])
+                case_key=reply["key"], event_sink=event_sink)
             try:
                 channel.send({"type": "result", "worker": name,
                               "key": reply["key"], "record": record})
@@ -129,12 +133,22 @@ def work_loop(channel: WorkerChannel, name: str,
     return computed
 
 
-def local_worker_main(conn, name: str) -> None:
+def local_worker_main(conn, name: str,
+                      profile_dir: Optional[str] = None) -> None:
     """Subprocess entry point for one local pool worker."""
     channel = PipeWorkerChannel(conn)
+    recorder = None
+    if profile_dir is not None:
+        from repro.obs.stream import ShardRecorder
+        recorder = ShardRecorder(profile_dir, name)
     try:
         # fingerprint=None: a pipe worker runs the coordinator's own
         # tree, so there is nothing to cross-check.
-        work_loop(channel, name, fingerprint=None)
+        work_loop(channel, name, fingerprint=None,
+                  event_sink=recorder.record if recorder is not None
+                  else None)
     except (ConfigError, ProtocolError, KeyboardInterrupt):
         pass                         # parent shut down / user ^C: exit quietly
+    finally:
+        if recorder is not None:
+            recorder.close()

@@ -72,6 +72,9 @@ class RunnerOptions:
     #: Lease TTL for distributed execution: a worker that goes this long
     #: without a heartbeat forfeits its cells.
     lease_ttl_s: float = 15.0
+    #: Directory for per-shard event recordings + streaming profiles
+    #: (``repro.obs.stream.ShardRecorder``); None disables recording.
+    profile_dir: Optional[str] = None
 
     def validate(self) -> None:
         if self.workers < 0:
@@ -137,12 +140,18 @@ def execute_case(case: SweepCase, obs=None):
 
 def execute_case_record(case: SweepCase, fingerprint: str,
                         verify: bool = False, flight: int = FLIGHT_TAIL,
-                        case_key: Optional[str] = None) -> dict:
+                        case_key: Optional[str] = None,
+                        event_sink: Optional[Callable] = None) -> dict:
     """Run one case to a store record, absorbing simulator failures.
 
     The record is deterministic: same case + same code -> same bytes,
     whether computed serially, by a pool worker, by a TCP worker on
     another machine, or in a resumed run.
+
+    ``event_sink(case, key, events)`` receives the case's full event
+    recording (a shard recorder appends it and feeds its streaming
+    profile); the sink sees the events of failed cases too — failure
+    evidence is the point of recording.
     """
     import dataclasses as _dc
     key = case_key if case_key is not None else case.key()
@@ -152,20 +161,25 @@ def execute_case_record(case: SweepCase, fingerprint: str,
         from repro.verify import InvariantChecker
         previous_checker = engine._default_checker_factory
         engine.set_default_checker(lambda: InvariantChecker(interval=2048))
-    obs = (Observability(events=False, metrics=False, flight=flight)
-           if flight > 0 else None)
+    want_events = event_sink is not None
+    obs = (Observability(events=want_events, metrics=False, flight=flight)
+           if flight > 0 or want_events else None)
     try:
-        point = execute_case(case, obs=obs)
-        return make_record(key, case.as_dict(), fingerprint, "ok",
-                           point=_dc.asdict(point))
-    except KeyboardInterrupt:
-        raise
-    except Exception as exc:
-        tail = (obs.flight.tail(FLIGHT_TAIL)
-                if obs is not None and obs.flight is not None else None)
-        error = f"{type(exc).__name__}: {exc}"
-        return make_record(key, case.as_dict(), fingerprint, "failed",
-                           error=error, flight=tail)
+        try:
+            point = execute_case(case, obs=obs)
+            record = make_record(key, case.as_dict(), fingerprint, "ok",
+                                 point=_dc.asdict(point))
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            tail = (obs.flight.tail(FLIGHT_TAIL)
+                    if obs is not None and obs.flight is not None else None)
+            error = f"{type(exc).__name__}: {exc}"
+            record = make_record(key, case.as_dict(), fingerprint,
+                                 "failed", error=error, flight=tail)
+        if want_events and obs is not None:
+            event_sink(case, key, obs.events())
+        return record
     finally:
         if verify:
             from repro.sim import engine
@@ -280,7 +294,8 @@ def run_cases(cases: List[SweepCase],
     try:
         if transport is None and options.workers > 0:
             from repro.sweep.dist.transport import LocalTransport
-            transport = LocalTransport(options.workers)
+            transport = LocalTransport(options.workers,
+                                       profile_dir=options.profile_dir)
         if not todo:
             pass                     # everything was cached
         elif transport is None:
@@ -310,15 +325,25 @@ def run_cases(cases: List[SweepCase],
 
 def _run_serial(todo, options: RunnerOptions, fingerprint: str,
                 announce, finalize, outcome: SweepOutcome) -> None:
-    for case, key in todo:
-        if options.stop_after is not None \
-                and outcome.computed >= options.stop_after:
-            outcome.stopped = True
-            return
-        announce(case, key)
-        case_started = time.monotonic()
-        record = execute_case_record(case, fingerprint,
-                                     verify=options.verify,
-                                     flight=options.flight, case_key=key)
-        finalize(case, key, record,
-                 time.monotonic() - case_started, attempt=1)
+    recorder = None
+    if options.profile_dir is not None:
+        from repro.obs.stream import ShardRecorder
+        recorder = ShardRecorder(options.profile_dir, "serial")
+    try:
+        for case, key in todo:
+            if options.stop_after is not None \
+                    and outcome.computed >= options.stop_after:
+                outcome.stopped = True
+                return
+            announce(case, key)
+            case_started = time.monotonic()
+            record = execute_case_record(
+                case, fingerprint, verify=options.verify,
+                flight=options.flight, case_key=key,
+                event_sink=recorder.record if recorder is not None
+                else None)
+            finalize(case, key, record,
+                     time.monotonic() - case_started, attempt=1)
+    finally:
+        if recorder is not None:
+            recorder.close()

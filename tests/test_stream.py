@@ -1,0 +1,493 @@
+"""Tests for repro.obs.stream: reducers, merge law, shards, live tail."""
+
+import glob
+import gzip
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.analysis import RunningStats
+from repro.errors import ConfigError, ProfileError
+from repro.obs import Observability
+from repro.obs.cli import main as analyze_main
+from repro.obs.events import (LockContended, ObjectAssigned,
+                              OperationFinished, RunMarker)
+from repro.obs.export import write_jsonl
+from repro.obs.metrics import OP_LATENCY_BUCKETS, Histogram
+from repro.obs.profile import (iter_jsonl, load_jsonl,
+                               render_lock_table, render_object_costs,
+                               lock_table, object_costs, render_report,
+                               split_runs)
+from repro.obs.stream import (OccupancyReducer, Profile, ShardRecorder,
+                              StreamProfiler, load_profile,
+                              merge_profiles, synthesize)
+from repro.sweep.runner import run_sweep
+
+from tests.test_sweep import quick_options, tiny_sweep
+
+
+def synth(n, seed=0, label="synthetic", **kwargs):
+    return list(synthesize(n, seed=seed, label=label, **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# the merge law: merge(P(a), P(b)) == P(a + b), any split, any stream
+# ---------------------------------------------------------------------------
+
+class TestMergeLaw:
+    def test_every_split_point_agrees_with_whole(self):
+        events = synth(600, seed=3)
+        whole = Profile.from_events(events)
+        # Cuts landing mid-operation, mid-migration and right after the
+        # run marker are the interesting ones; sweep a spread of them.
+        for cut in (1, 2, 97, 300, 599):
+            left = Profile.from_events(events[:cut])
+            right = Profile.from_events(events[cut:])
+            merged = left.merge(right)
+            assert merged == whole, f"split at {cut}"
+            assert merged.to_json() == whole.to_json(), f"split at {cut}"
+
+    def test_merge_does_not_mutate_operands(self):
+        events = synth(200, seed=5)
+        left = Profile.from_events(events[:100])
+        right = Profile.from_events(events[100:])
+        before_left, before_right = left.to_json(), right.to_json()
+        left.merge(right)
+        assert left.to_json() == before_left
+        assert right.to_json() == before_right
+
+    def test_associativity(self):
+        events = synth(450, seed=9)
+        a = Profile.from_events(events[:150])
+        b = Profile.from_events(events[150:300])
+        c = Profile.from_events(events[300:])
+        assert a.merge(b).merge(c).to_json() \
+            == a.merge(b.merge(c)).to_json()
+
+    def test_commutes_for_disjoint_labels(self):
+        a = Profile.from_events(synth(200, seed=1, label="alpha"))
+        b = Profile.from_events(synth(200, seed=2, label="beta"))
+        # Section order differs (first-appearance), so byte equality is
+        # out; profile equality is section-order-insensitive.
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_profiles_folds_left_to_right(self):
+        events = synth(300, seed=4)
+        parts = [Profile.from_events(events[i:i + 100])
+                 for i in range(0, 300, 100)]
+        assert merge_profiles(parts).to_json() \
+            == Profile.from_events(events).to_json()
+
+    def test_merge_profiles_rejects_empty(self):
+        with pytest.raises(ProfileError):
+            merge_profiles([])
+
+    def test_mismatched_sampling_params_refuse_to_merge(self):
+        a = Profile.from_events(synth(50), sample_capacity=64)
+        b = Profile.from_events(synth(50), sample_capacity=128)
+        with pytest.raises(ProfileError, match="sampl"):
+            a.merge(b)
+
+    def test_artifact_round_trips(self):
+        profile = Profile.from_events(synth(400, seed=8))
+        text = profile.to_json()
+        again = Profile.from_json(text)
+        assert again.to_json() == text
+        assert again.render() == profile.render()
+
+    def test_bad_artifact_names_the_source(self):
+        with pytest.raises(ProfileError, match="shard.json"):
+            Profile.from_json('{"kind": "nope"}', source="shard.json")
+
+
+# ---------------------------------------------------------------------------
+# streaming == batch, byte for byte
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig2_events(tmp_path_factory):
+    from repro.bench.figures import figure_2
+
+    obs = Observability()
+    figure_2(n_dirs=6, run_cycles=120_000, seed=11, obs=obs)
+    path = tmp_path_factory.mktemp("fig2") / "fig2.events.jsonl"
+    obs.write_jsonl(str(path))
+    return str(path)
+
+
+class TestStreamingMatchesBatch:
+    def test_report_identical_on_real_recording(self, fig2_events,
+                                                capsys):
+        assert analyze_main(["report", fig2_events]) == 0
+        batch = capsys.readouterr().out
+        assert analyze_main(["report", fig2_events, "--stream"]) == 0
+        stream = capsys.readouterr().out
+        assert stream == batch
+
+    def test_run_filter_identical(self, fig2_events, capsys):
+        runs = split_runs(load_jsonl(fig2_events).events)
+        label = runs[0].label
+        assert analyze_main(["report", fig2_events, "--run", label]) == 0
+        batch = capsys.readouterr().out
+        assert analyze_main(["report", fig2_events, "--run", label,
+                             "--stream"]) == 0
+        assert capsys.readouterr().out == batch
+
+    def test_batch_helpers_match_reducers(self, fig2_events):
+        events = load_jsonl(fig2_events).events
+        for run in split_runs(events):
+            profile = Profile.from_events(
+                [RunMarker(0, run.label)] + list(run.events))
+            section = profile.sections[0]
+            assert section.render() == render_report(run)
+
+    def test_synthetic_stream_identical_too(self, tmp_path, capsys):
+        path = str(tmp_path / "s.events.jsonl.gz")
+        write_jsonl(path, synthesize(3_000, seed=6))
+        assert analyze_main(["report", path]) == 0
+        batch = capsys.readouterr().out
+        assert analyze_main(["report", path, "--stream"]) == 0
+        assert capsys.readouterr().out == batch
+
+
+# ---------------------------------------------------------------------------
+# deterministic reservoir (bottom-k) occupancy sampling
+# ---------------------------------------------------------------------------
+
+def _occupancy_events(n, seed):
+    import random
+    rng = random.Random(seed)
+    ts = 0
+    events = []
+    for _ in range(n):
+        ts += rng.randrange(1, 50)
+        events.append(ObjectAssigned(ts, rng.randrange(4),
+                                     f"dir:D{rng.randrange(40)}"))
+    return events
+
+
+class TestOccupancySampling:
+    def test_seeded_and_order_free(self):
+        events = _occupancy_events(500, seed=2)
+        forward, backward = (OccupancyReducer(capacity=64)
+                             for _ in range(2))
+        for event in events:
+            forward.feed(event)
+        for event in reversed(events):
+            backward.feed(event)
+        assert forward.state() == backward.state()
+        assert forward.render(events[-1].ts) == backward.render(
+            events[-1].ts)
+
+    def test_merge_law_survives_pruning(self):
+        events = _occupancy_events(500, seed=7)
+        whole = OccupancyReducer(capacity=64)
+        left, right = (OccupancyReducer(capacity=64) for _ in range(2))
+        for event in events:
+            whole.feed(event)
+        for event in events[:250]:
+            left.feed(event)
+        for event in events[250:]:
+            right.feed(event)
+        left.merge_from(right)
+        assert left.state() == whole.state()
+
+    def test_annotates_when_sampled(self):
+        events = _occupancy_events(300, seed=1)
+        reducer = OccupancyReducer(capacity=32)
+        for event in events:
+            reducer.feed(event)
+        assert reducer.pruned
+        rendered = reducer.render(events[-1].ts)
+        assert "[sampled: kept" in rendered
+        assert f"of {reducer.total:,} changes" in rendered
+
+    def test_unsampled_stream_has_no_annotation(self):
+        reducer = OccupancyReducer()
+        for event in _occupancy_events(100, seed=1):
+            reducer.feed(event)
+        assert "[sampled" not in reducer.render(10_000)
+
+    def test_capacity_mismatch_refuses_merge(self):
+        with pytest.raises(ProfileError):
+            OccupancyReducer(capacity=32).merge_from(
+                OccupancyReducer(capacity=64))
+
+
+# ---------------------------------------------------------------------------
+# satellite: gzip end to end
+# ---------------------------------------------------------------------------
+
+class TestGzip:
+    def test_round_trip_equals_plain(self, tmp_path):
+        events = synth(500, seed=12)
+        plain = str(tmp_path / "r.events.jsonl")
+        gzipped = str(tmp_path / "r.events.jsonl.gz")
+        write_jsonl(plain, events)
+        write_jsonl(gzipped, events)
+        assert load_jsonl(gzipped).events == load_jsonl(plain).events
+        with gzip.open(gzipped, "rt", encoding="utf-8") as handle:
+            assert handle.read() == open(plain, encoding="utf-8").read()
+
+    def test_gzip_bytes_are_deterministic(self, tmp_path):
+        events = synth(200, seed=3)
+        paths = [str(tmp_path / f"{i}.jsonl.gz") for i in range(2)]
+        for path in paths:
+            write_jsonl(path, events)
+        assert open(paths[0], "rb").read() == open(paths[1], "rb").read()
+
+    def test_concatenated_members_read_as_one_stream(self, tmp_path):
+        a = synth(150, seed=1, label="alpha")
+        b = synth(150, seed=2, label="beta")
+        cat = str(tmp_path / "cat.events.jsonl.gz")
+        for part, mode in ((a, "wb"), (b, "ab")):
+            member = str(tmp_path / "member.jsonl.gz")
+            write_jsonl(member, part)
+            with open(cat, mode) as out:
+                out.write(open(member, "rb").read())
+        events = load_jsonl(cat).events
+        assert [r.label for r in split_runs(events)] == ["alpha", "beta"]
+        assert len(events) == len(a) + len(b)
+
+    def test_iter_jsonl_matches_load_jsonl(self, tmp_path):
+        path = str(tmp_path / "x.events.jsonl.gz")
+        write_jsonl(path, synthesize(300, seed=4))
+        assert list(iter_jsonl(path)) == load_jsonl(path).events
+
+
+# ---------------------------------------------------------------------------
+# satellite: error messages carry the path; --top notes dropped rows
+# ---------------------------------------------------------------------------
+
+class TestDiagnostics:
+    def test_load_jsonl_error_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.events.jsonl"
+        path.write_text('{"kind":"meta","schema_version":5}\nnot json\n')
+        with pytest.raises(ProfileError) as info:
+            load_jsonl(str(path))
+        assert str(path) in str(info.value)
+        assert "line 2" in str(info.value)
+
+    def test_load_profile_error_names_file(self, tmp_path):
+        path = tmp_path / "junk.profile.json"
+        path.write_text("{}")
+        with pytest.raises(ProfileError, match="junk.profile.json"):
+            load_profile(str(path))
+
+    def test_top_caps_log_dropped_rows(self):
+        events = [OperationFinished(100 * (i + 1), 0, "t0", f"dir:D{i}",
+                                    100, 1, 1, 10, 5)
+                  for i in range(8)]
+        text = render_object_costs(object_costs(events), top=3)
+        assert "5 rows dropped" in text
+        full = render_object_costs(object_costs(events), top=8)
+        assert "dropped" not in full
+
+    def test_lock_table_logs_dropped_rows(self):
+        events = [LockContended(10 * (i + 1), 0, "t0", f"lock:L{i}")
+                  for i in range(6)]
+        text = render_lock_table(lock_table(events), top=2)
+        assert "4 rows dropped" in text
+
+
+# ---------------------------------------------------------------------------
+# mergeable primitives (Histogram.merge, RunningStats)
+# ---------------------------------------------------------------------------
+
+class TestMergeablePrimitives:
+    def test_histogram_merge_folds_exactly(self):
+        whole = Histogram("h", OP_LATENCY_BUCKETS)
+        left = Histogram("h", OP_LATENCY_BUCKETS)
+        right = Histogram("h", OP_LATENCY_BUCKETS)
+        values = [50, 150, 700, 30_000, 500_000, 90]
+        for value in values:
+            whole.observe(value)
+        for value in values[:3]:
+            left.observe(value)
+        for value in values[3:]:
+            right.observe(value)
+        left.merge(right)
+        assert left.counts == whole.counts
+        assert left.summary().as_dict() == whole.summary().as_dict()
+
+    def test_histogram_merge_rejects_different_buckets(self):
+        with pytest.raises(ConfigError):
+            Histogram("a", (1, 2)).merge(Histogram("b", (1, 3)))
+
+    def test_running_stats_merge(self):
+        whole = RunningStats.from_values([3, 1, 4, 1, 5])
+        left = RunningStats.from_values([3, 1])
+        right = RunningStats.from_values([4, 1, 5])
+        assert left.merge(right) == whole
+        assert whole.mean == pytest.approx(2.8)
+        assert RunningStats.from_state(whole.state()) == whole
+
+
+# ---------------------------------------------------------------------------
+# CLI: profile / merge / synth / RSS cap
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_profile_then_merge_round_trip(self, tmp_path, capsys):
+        events = str(tmp_path / "e.jsonl.gz")
+        write_jsonl(events, synthesize(800, seed=2))
+        shard = str(tmp_path / "e.profile.json")
+        assert analyze_main(["profile", events, "-o", shard]) == 0
+        merged = str(tmp_path / "m.profile.json")
+        assert analyze_main(["merge", shard, shard, "-o", merged]) == 0
+        capsys.readouterr()
+        doubled = load_profile(merged)
+        single = load_profile(shard)
+        assert doubled.total_events == 2 * single.total_events
+
+    def test_merge_without_out_prints_report(self, tmp_path, capsys):
+        events = str(tmp_path / "e.jsonl")
+        write_jsonl(events, synthesize(300, seed=2))
+        shard = str(tmp_path / "e.profile.json")
+        analyze_main(["profile", events, "-o", shard])
+        capsys.readouterr()
+        assert analyze_main(["merge", shard]) == 0
+        assert "=== run: synthetic" in capsys.readouterr().out
+
+    def test_synth_is_deterministic(self, tmp_path, capsys):
+        paths = [str(tmp_path / f"{i}.jsonl.gz") for i in range(2)]
+        for path in paths:
+            assert analyze_main(["synth", "-o", path, "--events", "500",
+                                 "--seed", "9"]) == 0
+        capsys.readouterr()
+        assert open(paths[0], "rb").read() == open(paths[1], "rb").read()
+
+    def test_empty_stream_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"kind":"meta","schema_version":5}\n')
+        assert analyze_main(["report", str(path), "--stream"]) == 2
+        assert "stream contains no events" in capsys.readouterr().err
+        assert analyze_main(["profile", str(path), "-o",
+                             str(tmp_path / "p.json")]) == 2
+
+    def test_rss_cap_must_be_positive(self, tmp_path, capsys):
+        path = str(tmp_path / "e.jsonl")
+        write_jsonl(path, synthesize(10, seed=0))
+        assert analyze_main(["report", path, "--stream",
+                             "--max-rss-mb", "0"]) == 2
+
+    def test_generous_rss_cap_passes(self, tmp_path, capsys):
+        pytest.importorskip("resource")
+        import subprocess
+        import sys
+        path = str(tmp_path / "e.jsonl.gz")
+        write_jsonl(path, synthesize(2_000, seed=1))
+        # Subprocess: setrlimit(RLIMIT_AS) cannot be raised back by an
+        # unprivileged process, so the cap must not leak into pytest.
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.obs.cli", "report", path,
+             "--stream", "--max-rss-mb", "2048"],
+            capture_output=True, text=True)
+        assert result.returncode == 0, result.stderr
+        assert "=== run: synthetic" in result.stdout
+
+
+# ---------------------------------------------------------------------------
+# live tail over the watch-feed protocol
+# ---------------------------------------------------------------------------
+
+class TestTail:
+    def test_tail_profiles_a_watch_feed(self, tmp_path, capsys):
+        from repro.sweep.dist.protocol import recv_frame, send_frame
+
+        events = synth(300, seed=5, label="livesweep")
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+
+        def serve():
+            conn, _ = server.accept()
+            with conn:
+                assert recv_frame(conn)["type"] == "watch"
+                send_frame(conn, {"type": "meta", "schema_version": 5})
+                for event in events:
+                    send_frame(conn, {"type": "event",
+                                      "event": event.as_dict()})
+                send_frame(conn, {"type": "drain"})
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        out = str(tmp_path / "tail.txt")
+        code = analyze_main(["tail", "--connect", f"127.0.0.1:{port}",
+                             "--interval", "0", "-o", out])
+        thread.join(timeout=5)
+        server.close()
+        assert code == 0
+        report = open(out, encoding="utf-8").read()
+        assert report.rstrip("\n") \
+            == Profile.from_events(events).render()
+        assert "=== run: livesweep" in report
+
+    def test_tail_empty_feed_exits_nonzero(self, capsys):
+        from repro.sweep.dist.protocol import recv_frame, send_frame
+
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+
+        def serve():
+            conn, _ = server.accept()
+            with conn:
+                recv_frame(conn)
+                send_frame(conn, {"type": "drain"})
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        code = analyze_main(["tail", "--connect", f"127.0.0.1:{port}"])
+        thread.join(timeout=5)
+        server.close()
+        assert code == 1
+
+
+# ---------------------------------------------------------------------------
+# sweep shard recording: per-worker profiles merge to the fleet truth
+# ---------------------------------------------------------------------------
+
+def _profile_of_concatenated_shards(profile_dir):
+    profiler = StreamProfiler()
+    for path in sorted(glob.glob(os.path.join(profile_dir,
+                                              "*.events.jsonl.gz"))):
+        profiler.feed_path(path)
+    return profiler.profile
+
+
+class TestSweepShardProfiles:
+    def test_serial_sweep_writes_consistent_shard(self, tmp_path):
+        shards = str(tmp_path / "shards")
+        outcome = run_sweep(
+            tiny_sweep(), options=quick_options(profile_dir=shards))
+        assert outcome.failed == 0
+        assert sorted(os.listdir(shards)) \
+            == ["serial.events.jsonl.gz", "serial.profile.json"]
+        recorded = load_profile(os.path.join(shards,
+                                             "serial.profile.json"))
+        replayed = _profile_of_concatenated_shards(shards)
+        assert recorded.to_json() == replayed.to_json()
+        # One section per scheduler, every case folded in.
+        assert sorted(s.display_label for s in recorded.sections) \
+            == ["coretime", "thread"]
+
+    def test_worker_shards_merge_to_concatenated_profile(self, tmp_path):
+        shards = str(tmp_path / "shards")
+        outcome = run_sweep(
+            tiny_sweep(),
+            options=quick_options(workers=2, profile_dir=shards))
+        assert outcome.failed == 0
+        shard_paths = sorted(glob.glob(os.path.join(
+            shards, "*.profile.json")))
+        assert len(shard_paths) >= 1      # one per worker that computed
+        merged = merge_profiles([load_profile(path)
+                                 for path in shard_paths])
+        replayed = _profile_of_concatenated_shards(shards)
+        assert merged.to_json() == replayed.to_json()
+        assert merged.total_events > 0
+
+    def test_shard_recorder_skips_profile_when_idle(self, tmp_path):
+        recorder = ShardRecorder(str(tmp_path / "dir"), "idle")
+        assert recorder.close() is None
+        assert os.listdir(str(tmp_path / "dir")) == []
