@@ -1,17 +1,27 @@
 """Simulator performance kernels and the benchmark-regression gate.
 
-``python -m repro.bench perf`` times three representative kernels —
-the Figure 2 residency workload, a Figure 4(a) sweep point, and a
-migration-heavy CoreTime run — measuring **only** the simulation loop
-(workload/image construction is excluded), and writes the results to
-``BENCH_simulator.json``.
+``python -m repro.bench perf`` times three representative workload
+kernels — the Figure 2 residency workload, a Figure 4(a) sweep point,
+and a migration-heavy CoreTime run — measuring **only** the simulation
+loop (workload/image construction is excluded), and writes the results
+to ``BENCH_simulator.json``.
 
-Raw wall-clock numbers are useless across machines, so every run first
-times a pure-Python *calibration burst* exercising the same interpreter
-operations the simulator leans on (ordered-dict inserts/evictions,
-holder-set mutation).  Kernel throughput is reported both raw
-(steps/second) and *normalized* — steps per second divided by the
-calibration score — and the CI gate (``--check``) compares normalized
+Each workload kernel is timed under every requested *engine* kernel
+(``generic`` oracle loop and the ``batched`` macro-step loop from
+:mod:`repro.sim.batch`); report entries are keyed
+``<workload>:<engine>`` (e.g. ``fig2:batched``), so the regression gate
+covers both run loops independently — the batched kernel cannot
+silently regress back to generic speed, and the generic oracle cannot
+rot.
+
+Raw wall-clock numbers are useless across machines, so a pure-Python
+*calibration burst* exercising the same interpreter operations the
+simulator leans on (ordered-dict inserts/evictions, holder-set
+mutation) runs adjacent to every timed repeat, and each repeat is
+normalized by its own burst — pairing them cancels machine-load drift
+within a run.  Kernel throughput is reported both raw (steps/second)
+and *normalized* — steps per second divided by the paired calibration
+score — and the CI gate (``--check``) compares normalized
 throughput against the committed baseline with a symmetric tolerance
 band: a drop beyond it fails the build, a gain beyond it warns that the
 baseline is stale.
@@ -30,11 +40,13 @@ from repro.analysis import summarise
 from repro.bench.harness import SCHEDULERS, coretime_factory
 from repro.cpu.machine import Machine
 from repro.cpu.topology import MachineSpec
+from repro.sim.engine import KERNELS as ENGINE_KERNELS
 from repro.sim.engine import Simulator
 from repro.workloads.dirlookup import DirectoryLookupWorkload, DirWorkloadSpec
 
-#: Schema version of BENCH_simulator.json.
-SCHEMA = 1
+#: Schema version of BENCH_simulator.json.  2: kernel entries are keyed
+#: ``<workload>:<engine-kernel>`` and both engine run loops are gated.
+SCHEMA = 2
 
 #: Default repeats per kernel (first repeat is discarded as warm-up
 #: unless it is the only one).
@@ -161,18 +173,35 @@ def _stats_dict(values: List[float]) -> Dict[str, float]:
     }
 
 
-def run_kernel(name: str, repeats: int = DEFAULT_REPEATS) -> Dict:
+def run_kernel(name: str, repeats: int = DEFAULT_REPEATS,
+               engine_kernel: str = "generic") -> Dict:
     """Time one kernel ``repeats`` times; returns raw samples + stats.
 
-    Each repeat builds a fresh simulator (untimed) and times only
-    ``Simulator.run``.  The first repeat is discarded as interpreter
-    warm-up when more than one was requested.
+    Each repeat builds a fresh simulator (untimed), selects the
+    requested engine run loop, and times only ``Simulator.run``.  The
+    first repeat is discarded as interpreter warm-up when more than one
+    was requested.
+
+    A calibration burst runs *adjacent to every repeat* and each
+    repeat is normalized by its own burst: machine load drifts on the
+    scale of whole perf runs, so one calibration at process start can
+    sample a quiet (or busy) instant and skew every kernel measured
+    minutes later.  Pairing them cancels the drift; the per-kernel
+    ``normalized_throughput`` is the *median* paired ratio — a max
+    would reward repeats whose burst happened to land on a busy
+    instant (slow burst inflates the ratio), which is exactly the
+    noise the pairing is meant to cancel.
     """
     setup = KERNELS[name]
     samples: List[float] = []
+    scores: List[float] = []
     steps = 0
     for _ in range(repeats + (1 if repeats > 1 else 0)):
+        started = time.perf_counter()
+        _calibration_burst()
+        scores.append(_CALIBRATION_N / (time.perf_counter() - started))
         simulator, until = setup()
+        simulator.kernel = engine_kernel
         started = time.perf_counter()
         simulator.run(until=until)
         elapsed = time.perf_counter() - started
@@ -180,18 +209,31 @@ def run_kernel(name: str, repeats: int = DEFAULT_REPEATS) -> Dict:
         samples.append(elapsed)
     if len(samples) > 1:
         samples = samples[1:]
+        scores = scores[1:]
     throughput = [steps / s for s in samples]
     return {
         "steps": steps,
+        "engine_kernel": engine_kernel,
         "wall_seconds": _stats_dict(samples),
         "steps_per_sec": _stats_dict(throughput),
+        "calibration": _stats_dict(scores),
+        "normalized_throughput": _percentile(
+            sorted(t / s for t, s in zip(throughput, scores)), 0.50),
     }
 
 
 def run_perf(repeats: int = DEFAULT_REPEATS,
-             kernels: Optional[Sequence[str]] = None) -> Dict:
-    """Run the calibration burst plus every requested kernel."""
+             kernels: Optional[Sequence[str]] = None,
+             engine_kernels: Optional[Sequence[str]] = None) -> Dict:
+    """Run the calibration burst plus every requested kernel.
+
+    Every workload kernel is timed once per engine kernel (default:
+    all of :data:`repro.sim.engine.KERNELS`); the report keys the
+    entries ``<workload>:<engine>``.
+    """
     names = list(kernels) if kernels else list(KERNELS)
+    engines = list(engine_kernels) if engine_kernels \
+        else list(ENGINE_KERNELS)
     score = calibrate()
     report: Dict = {
         "schema": SCHEMA,
@@ -200,16 +242,13 @@ def run_perf(repeats: int = DEFAULT_REPEATS,
         "platform": platform.platform(),
         "repeats": repeats,
         "calibration_score": score,
+        "engine_kernels": engines,
         "kernels": {},
     }
     for name in names:
-        result = run_kernel(name, repeats)
-        # Best-of, not median: scheduling noise only ever *slows* the
-        # interpreter, so max throughput is the stable estimator — the
-        # p50/p95 spread is still reported for visibility.
-        result["normalized_throughput"] = (
-            result["steps_per_sec"]["max"] / score)
-        report["kernels"][name] = result
+        for engine in engines:
+            report["kernels"][f"{name}:{engine}"] = run_kernel(
+                name, repeats, engine_kernel=engine)
     return report
 
 
@@ -256,9 +295,19 @@ def format_report(report: Dict) -> str:
     for name, kernel in report["kernels"].items():
         sps = kernel["steps_per_sec"]
         lines.append(
-            f"  {name:<10} {sps['p50']:>12,.0f} steps/s p50 "
+            f"  {name:<16} {sps['p50']:>12,.0f} steps/s p50 "
             f"(p95 {sps['p95']:,.0f}, mean {sps['mean']:,.0f}) "
             f"normalized {kernel['normalized_throughput']:.3f}")
+    # Batched-over-generic speedup per workload, when both were run.
+    kernels = report["kernels"]
+    for name in sorted({key.split(":")[0] for key in kernels}):
+        generic = kernels.get(f"{name}:generic")
+        batched = kernels.get(f"{name}:batched")
+        if generic and batched:
+            ratio = (batched["normalized_throughput"]
+                     / generic["normalized_throughput"])
+            lines.append(f"  {name:<16} batched/generic speedup "
+                         f"{ratio:.2f}x")
     return "\n".join(lines)
 
 
@@ -271,7 +320,17 @@ def main_perf(args) -> int:
             print(f"unknown kernels: {', '.join(unknown)} "
                   f"(choose from {', '.join(KERNELS)})", file=sys.stderr)
             return 2
-    report = run_perf(repeats=args.repeats, kernels=kernels)
+    engines = (args.engine_kernels.split(",")
+               if getattr(args, "engine_kernels", None) else None)
+    if engines:
+        unknown = [k for k in engines if k not in ENGINE_KERNELS]
+        if unknown:
+            print(f"unknown engine kernels: {', '.join(unknown)} "
+                  f"(choose from {', '.join(ENGINE_KERNELS)})",
+                  file=sys.stderr)
+            return 2
+    report = run_perf(repeats=args.repeats, kernels=kernels,
+                      engine_kernels=engines)
     print(format_report(report))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as stream:

@@ -34,6 +34,7 @@ bit-identical to the generic path used under a custom ``cache_factory``.
 
 from __future__ import annotations
 
+from math import exp as _exp
 from typing import Callable, List, Optional, Tuple
 
 from repro.cpu.topology import MachineSpec
@@ -41,7 +42,7 @@ from repro.errors import ConfigError
 from repro.mem.cache import LRUCache
 from repro.obs.events import CacheEvicted, CacheInvalidated
 from repro.mem.counters import CoreCounters
-from repro.mem.dram import Dram
+from repro.mem.dram import UTILISATION_CAP, UTILISATION_TAU, Dram
 from repro.mem.interconnect import Interconnect
 from repro.mem.sharing import SharingDirectory
 
@@ -233,11 +234,16 @@ class MemorySystem:
         total = 0
         stream_run = False
         if self._fast:
-            # Inline the L1-hit case: one dict probe + move_to_end per
-            # line, with hit counts batched outside the loop.
             state = self._core_state[core_id]
-            counters = state[0]
-            l1d = state[2]
+            (counters, l1, l1d, l1_cap, l2, l2d, l2_cap, l3, l3d, l3_cap,
+             chip, l3_holder, _) = state
+            if not (l1.pinned or l2.pinned or l3.pinned):
+                return self._scan_fast(
+                    core_id, first, last, now, per_line_compute, state)
+            # Pinned lines anywhere in the hierarchy: inline only the
+            # L1-hit case (one dict probe + move_to_end per line, hit
+            # counts batched outside the loop); misses take the per-line
+            # fast path, whose _evict() honours pins.
             move_to_end = l1d.move_to_end
             hit_cost = self._lat_l1 + per_line_compute
             l1_hits = 0
@@ -266,6 +272,252 @@ class MemorySystem:
     def prefetch(self, core_id: int, addr: int, nbytes: int, now: int) -> int:
         """Warm the local hierarchy with a byte range (no compute cost)."""
         return self.scan(core_id, addr, nbytes, now)
+
+    def _scan_fast(self, core_id: int, first: int, last: int, now: int,
+                   per_line_compute: int, state: tuple) -> int:
+        """Whole-scan inline loop for pin-free all-LRU hierarchies.
+
+        Unrolls :meth:`_load_line_fast` across the scanned range with the
+        per-core state, the directory dict, the interconnect cost tables
+        and the DRAM controllers all held in locals, and with counter
+        increments accumulated outside the loop.  Mutations — dict probe
+        order, the L1 -> L2 -> L3 victim cascade, holder-set history, DRAM
+        demand decay — are performed in exactly the order of the per-line
+        path, so counters and event streams stay byte-identical to it.
+        """
+        (counters, l1, l1d, l1_cap, l2, l2d, l2_cap, l3, l3d, l3_cap,
+         chip, l3_holder, _) = state
+        holders_map = self._holders
+        hit1 = self._lat_l1 + per_line_compute
+        hit2 = self._lat_l2 + per_line_compute
+        hit3 = self._lat_l3 + per_line_compute
+        dist = self._dist[chip]
+        holder_chips = self._holder_chip
+        one_chip = len(dist) == 1
+        interconnect = self.interconnect
+        remote_cost = interconnect._remote_cost[chip]
+        stream_cost = interconnect._stream_cost[chip]
+        transfers = interconnect.transfers
+        dram = self.dram
+        n_chips = dram._n_chips
+        raw_base = dram._raw_base[chip]
+        raw_stream = dram._raw_stream[chip]
+        controllers = dram.controllers
+        if one_chip:
+            # Single-chip machine: every line's home bank is controller
+            # 0 and every holder is distance 0, so the cost tables are
+            # scalars and the controller's queueing state can live in
+            # locals for the whole scan (written back below) — the
+            # arithmetic runs in the exact order of the general branch.
+            ctrl = controllers[0]
+            ctl_occ = ctrl.occupancy
+            ctl_demand = ctrl.demand
+            ctl_clock = ctrl.clock
+            ctl_lines = 0
+            ctl_queued = 0
+            rb0 = raw_base[0]
+            rs0 = raw_stream[0]
+            rc0 = remote_cost[0]
+            sc0 = stream_cost[0]
+        bus = self._bus
+        # Pre-line timestamps are only observable through CacheEvicted
+        # (L3 spill) and the DRAM controller clock; when eviction events
+        # are off, only the DRAM branches need ``line_now``.
+        publishing = bus is not None and bus.wants(CacheEvicted)
+        l1_move = l1d.move_to_end
+        l2_move = l2d.move_to_end
+        l3_move = l3d.move_to_end
+        l1_pop = l1d.popitem
+        l2_pop = l2d.popitem
+        l3_pop = l3d.popitem
+        # Cache occupancies tracked in locals: the loop below performs
+        # every mutation of these three dicts, so the counts stay exact
+        # without a len() call per level per line.
+        n1 = len(l1d)
+        n2 = len(l2d)
+        n3 = len(l3d)
+        c1 = c2 = c3 = cr = cd = e1 = e2 = e3 = 0
+        total = 0
+        stream_run = False
+        for line in range(first, last + 1):
+            if line in l1d:
+                l1_move(line)
+                c1 += 1
+                total += hit1
+                stream_run = False
+                continue
+            if publishing:
+                line_now = now + total
+            # One holders probe classifies the line AND feeds the insert
+            # cascade below (``grow`` is the set to extend with core_id,
+            # or None when a fresh singleton must be created) — the
+            # per-line path probes twice, with identical results.
+            if line in l2d:
+                c2 += 1
+                del l2d[line]
+                n2 -= 1
+                grow = False
+                total += hit2
+                stream_run = False
+            elif line in l3d:
+                c3 += 1
+                holders = holders_map.get(line)
+                if holders is not None and len(holders) > 1:
+                    l3_move(line)
+                    grow = holders
+                else:
+                    del l3d[line]
+                    n3 -= 1
+                    grow = None
+                    if holders is not None:
+                        holders.discard(l3_holder)
+                        if holders:
+                            grow = holders
+                        else:
+                            del holders_map[line]
+                total += hit3
+                stream_run = False
+            elif one_chip:
+                holders = holders_map.get(line)
+                grow = holders or None
+                if holders:
+                    # Any holder is distance 0; identity never affects
+                    # cost or counters on one chip.
+                    cr += 1
+                    total += (sc0 if stream_run else rc0) \
+                        + per_line_compute
+                else:
+                    cd += 1
+                    line_now = now + total
+                    if line_now > ctl_clock:
+                        ctl_demand *= _exp(
+                            (ctl_clock - line_now) / UTILISATION_TAU)
+                        ctl_clock = line_now
+                    ctl_demand += ctl_occ
+                    rho = ctl_demand / UTILISATION_TAU
+                    if rho > UTILISATION_CAP:
+                        rho = UTILISATION_CAP
+                    queue_delay = int(ctl_occ * rho / (1.0 - rho) * 0.5)
+                    ctl_lines += 1
+                    ctl_queued += queue_delay
+                    total += (queue_delay
+                              + (rs0 if stream_run else rb0)
+                              + per_line_compute)
+                stream_run = True
+            else:
+                holders = holders_map.get(line)
+                holder = None
+                if holders:
+                    best_d = 1 << 30
+                    for h in holders:
+                        d = dist[holder_chips[h]]
+                        if d < best_d:
+                            holder, best_d = h, d
+                            if d == 0:
+                                break
+                grow = holders or None
+                if holder is not None:
+                    cr += 1
+                    hchip = holder_chips[holder]
+                    if stream_run:
+                        total += stream_cost[hchip] + per_line_compute
+                    else:
+                        if chip != hchip:
+                            key = (hchip, chip)
+                            transfers[key] = transfers.get(key, 0) + 1
+                        total += remote_cost[hchip] + per_line_compute
+                    stream_run = True
+                else:
+                    cd += 1
+                    line_now = now + total
+                    bank = line % n_chips
+                    controller = controllers[bank]
+                    if line_now > controller.clock:
+                        controller.demand *= _exp(
+                            (controller.clock - line_now) / UTILISATION_TAU)
+                        controller.clock = line_now
+                    demand = controller.demand + controller.occupancy
+                    controller.demand = demand
+                    rho = demand / UTILISATION_TAU
+                    if rho > UTILISATION_CAP:
+                        rho = UTILISATION_CAP
+                    queue_delay = int(
+                        controller.occupancy * rho / (1.0 - rho) * 0.5)
+                    controller.lines_served += 1
+                    controller.queued_cycles += queue_delay
+                    total += (queue_delay + (raw_stream if stream_run
+                                             else raw_base)[bank]
+                              + per_line_compute)
+                    stream_run = True
+            # --- inlined insert cascade (pin-free variant) --------------
+            if grow is not False:
+                if grow is None:
+                    holders_map[line] = {core_id}
+                else:
+                    grow.add(core_id)
+            l1d[line] = None
+            n1 += 1
+            if n1 <= l1_cap:
+                continue
+            e1 += 1
+            n1 -= 1
+            victim = l1_pop(False)[0]
+            if victim in l2d:
+                l2_move(victim)
+                continue
+            l2d[victim] = None
+            n2 += 1
+            if n2 <= l2_cap:
+                continue
+            e2 += 1
+            n2 -= 1
+            victim2 = l2_pop(False)[0]
+            holders = holders_map.get(victim2)
+            if holders is not None:
+                holders.discard(core_id)
+                if not holders:
+                    del holders_map[victim2]
+                    holders = None
+            if holders is None:
+                holders_map[victim2] = {l3_holder}
+            else:
+                holders.add(l3_holder)
+            if victim2 in l3d:
+                l3_move(victim2)
+                continue
+            l3d[victim2] = None
+            n3 += 1
+            if n3 <= l3_cap:
+                continue
+            e3 += 1
+            n3 -= 1
+            victim3 = l3_pop(False)[0]
+            holders = holders_map.get(victim3)
+            if holders is not None:
+                holders.discard(l3_holder)
+                if not holders:
+                    del holders_map[victim3]
+            if publishing:
+                bus.publish(CacheEvicted(line_now, core_id, "L3", victim3,
+                                         self.op_obj[core_id]))
+        if one_chip:
+            ctrl.demand = ctl_demand
+            ctrl.clock = ctl_clock
+            ctrl.lines_served += ctl_lines
+            ctrl.queued_cycles += ctl_queued
+        counters.l1_hits += c1
+        counters.l2_hits += c2
+        counters.l3_hits += c3
+        counters.remote_hits += cr
+        counters.dram_loads += cd
+        if e1:
+            l1.evictions += e1
+        if e2:
+            l2.evictions += e2
+        if e3:
+            l3.evictions += e3
+        counters.mem_cycles += total
+        return total
 
     # ------------------------------------------------------------------
     # hot path

@@ -1,0 +1,446 @@
+"""Batched execution kernel: macro-step quiescent cores.
+
+This module is the ``kernel="batched"`` execution mode of
+:class:`repro.sim.engine.Simulator`.  It replaces the generic run loop's
+tuple heap with an array-backed :class:`IndexedEventHeap` and — the actual
+speedup — executes *runs* of a core's events as one batch without
+re-entering the global event loop.
+
+Why this is exact (the invariants DESIGN.md §13 spells out):
+
+* **Global-order horizon.**  When the generic loop pops a core's step at
+  time ``T``, executes it, and re-arms the core at its new clock ``t``,
+  the re-armed entry carries the newest sequence number.  It is therefore
+  the next event popped *iff* ``t`` is strictly below the earliest pending
+  event time (at equal times the older entry wins the tie-break).  So a
+  popped core may keep executing micro-steps locally while
+  ``core.time < heap-top`` — every one of them is exactly the event the
+  generic loop would have popped next.  The heap top is re-read after
+  every micro-step because a step may push new events (migration
+  arrivals).
+
+* **Run limits.**  ``until`` / ``max_ops`` / ``max_steps`` are re-checked
+  between micro-steps with the same expressions the generic loop uses
+  between events, so a batch never overruns a stopping condition.
+
+* **Quiescent runs collapse.**  Within the horizon no other core can act,
+  so event runs that touch only core-private state reduce to arithmetic:
+  ``k`` consecutive spins of a thread on an L1-resident lock line are
+  ``k`` identical events (constant latency, no stream output after the
+  first contended spin, counter increments only) and are applied in O(1).
+  Stores whose line the sharing directory reports *quiescent* for the
+  core (:meth:`~repro.mem.sharing.SharingDirectory.quiescent_for`) cannot
+  invalidate anything and skip the invalidation sweep.  The scheduler's
+  :meth:`~repro.sched.base.SchedulerRuntime.next_boundary` additionally
+  caps the collapse horizon at the next monitoring/rebalance epoch.
+
+* **Streams stay byte-identical.**  Every publish site runs at the same
+  simulated time with the same payload as in the generic kernel; sequence
+  numbers are engine-internal and never leave the heap.
+
+The kernel runs only when no invariant checker / fault plan is attached
+(``Simulator.run`` falls back to the generic loop otherwise): both of
+those are defined to run *between events* and to introspect the tuple
+heap, which batching deliberately removes.  The differential fuzzer
+covers the batched kernel by comparing its event streams and counters
+byte-for-byte against the generic oracle instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.obs import LockContended, ThreadArrived
+from repro.sched.base import SchedulerRuntime
+from repro.threads.program import Acquire, Compute, Release, Scan
+from repro.threads.thread import ThreadState
+
+#: Key layout: ``(time << SEQ_BITS) | seq``.  One int compare replaces the
+#: generic heap's tuple compare; Python ints are unbounded so neither field
+#: can overflow the packing.
+SEQ_BITS = 48
+SEQ_MASK = (1 << SEQ_BITS) - 1
+
+# Event kinds, matching repro.sim.engine._KIND_STEP / _KIND_ARRIVAL (the
+# engine imports this module, so the constants live here independently;
+# tests pin the agreement).  Inside the indexed heap the kind is implicit:
+# a step's payload is a Core, an arrival's payload is a (thread, core_id)
+# tuple.
+KIND_STEP = 0
+KIND_ARRIVAL = 1
+
+
+class IndexedEventHeap:
+    """Array-backed indexed event heap.
+
+    ``keys`` is a plain binary min-heap of packed ``time<<48 | seq`` ints
+    (sifted by :mod:`heapq`'s C implementation with single int compares);
+    ``payloads`` maps the sequence number — unique for the lifetime of a
+    simulator — to the event payload.  Separating the two keeps the sift
+    path free of tuple allocation and lets a pushed-back key (the
+    ``until`` stop condition) keep its payload slot untouched.
+    """
+
+    __slots__ = ("keys", "payloads")
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+        self.payloads: Dict[int, Any] = {}
+
+    def push(self, time: int, seq: int, payload: Any) -> None:
+        self.payloads[seq] = payload
+        heapq.heappush(self.keys, (time << SEQ_BITS) | seq)
+
+    def pop(self) -> tuple:
+        """Pop the earliest event; returns ``(time, seq, payload)``."""
+        key = heapq.heappop(self.keys)
+        seq = key & SEQ_MASK
+        return key >> SEQ_BITS, seq, self.payloads.pop(seq)
+
+    def peek_time(self) -> Optional[int]:
+        return (self.keys[0] >> SEQ_BITS) if self.keys else None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __bool__(self) -> bool:
+        return bool(self.keys)
+
+
+def heap_from_tuples(entries: List[tuple]) -> IndexedEventHeap:
+    """Build an indexed heap from generic ``(time, seq, kind, payload)``
+    tuples (both representations order identically, so conversion at run
+    boundaries preserves resumability across kernels)."""
+    heap = IndexedEventHeap()
+    keys = heap.keys
+    payloads = heap.payloads
+    for time, seq, _kind, payload in entries:
+        payloads[seq] = payload
+        keys.append((time << SEQ_BITS) | seq)
+    heapq.heapify(keys)
+    return heap
+
+
+def heap_to_tuples(heap: IndexedEventHeap) -> List[tuple]:
+    """Convert back to the generic tuple representation (heap-ordered)."""
+    payloads = heap.payloads
+    entries = []
+    for key in heap.keys:
+        seq = key & SEQ_MASK
+        payload = payloads[seq]
+        kind = KIND_ARRIVAL if payload.__class__ is tuple else KIND_STEP
+        entries.append((key >> SEQ_BITS, seq, kind, payload))
+    heapq.heapify(entries)
+    return entries
+
+
+def run_batched(sim, until: Optional[int], max_ops: Optional[int],
+                max_steps: Optional[int]):
+    """Run ``sim`` to a stopping condition on the batched kernel.
+
+    Drop-in replacement for ``Simulator._run`` (the caller guarantees no
+    checker/faults are attached).  Event streams, counters and the
+    returned :class:`~repro.sim.engine.RunResult` are byte-identical to
+    the generic loop's.
+    """
+    machine = sim.machine
+    cores = machine.cores
+    scheduler = sim.scheduler
+    # None when the scheduler inherits the base no-op next_boundary —
+    # skips a Python call per batch for schedulers with no timed epochs.
+    next_boundary = (
+        scheduler.next_boundary
+        if type(scheduler).next_boundary
+        is not SchedulerRuntime.next_boundary else None)
+    speeds = sim._speeds
+    dispatch = sim._dispatch
+    bus = sim._bus
+    mem_ctx = sim._mem_ctx
+    mem = sim.memory
+    mem_scan = sim._mem_scan
+    mem_load = sim._mem_load
+    mem_store = sim._mem_store
+    quiescent_for = mem.directory.quiescent_for
+    line_size = mem.line_size
+    # Flat per-core memory state for the single-line fast paths; None
+    # under a custom cache factory (every access falls back to the
+    # generic memory methods, exactly like the generic kernel).
+    l1ds = mem._l1ds if mem._fast else None
+    lat_l1 = mem._lat_l1
+    spin_backoff = sim._spec.spin_backoff
+    c_lock_spins = sim._c_lock_spins
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    ops_target = (sim.total_ops + max_ops) if max_ops else None
+    steps_left = max_steps if max_steps is not None else -1
+    sim._ops_at_run_start = sim.total_ops
+
+    heap = heap_from_tuples(sim._heap)
+    keys = heap.keys
+    payloads = heap.payloads
+    del sim._heap[:]
+
+    # Intercept Simulator._push for the duration of the run: migration
+    # arrivals, idle polls and mid-run spawns land in the indexed heap.
+    def _push(time: int, kind: int, payload: Any) -> None:
+        sim._seq += 1
+        seq = sim._seq
+        payloads[seq] = payload
+        heappush(keys, (time << SEQ_BITS) | seq)
+
+    sim.__dict__["_push"] = _push
+    total_steps = 0
+    try:
+        while keys:
+            if ops_target is not None and sim.total_ops >= ops_target:
+                break
+            if steps_left == 0:
+                break
+            key = heappop(keys)
+            time = key >> SEQ_BITS
+            if until is not None and time > until:
+                # Same entry (same seq) left queued, so a resumed run —
+                # on either kernel — pops it in the original order.
+                heappush(keys, key)
+                break
+            payload = payloads.pop(key & SEQ_MASK)
+            if payload.__class__ is tuple:
+                # Migration arrival.
+                thread, core_id = payload
+                core = cores[core_id]
+                core.counters.migrations_in += 1
+                thread.state = ThreadState.READY
+                thread.arrive_at = None
+                sim._enqueue_thread(thread, core_id, time)
+                if bus is not None and bus.wants(ThreadArrived):
+                    bus.publish(ThreadArrived(time, core_id, thread.name))
+                steps_left -= 1
+                continue
+
+            # ---- step event: batch-execute this core ------------------
+            core = payload
+            core.in_heap = False
+            cid = core.core_id
+            counters = core.counters
+            runqueue = core.runqueue
+            l1d = l1ds[cid] if l1ds is not None else None
+            # Local clock and busy-cycle accumulator; flushed to the core
+            # before any call that can observe them (ct hooks, generic
+            # item handlers, thread finish) and at batch exit.
+            t = core.time
+            now = time
+            busy = 0
+            csteps = 0
+            boundary = (next_boundary(now)
+                        if next_boundary is not None else None)
+            while True:
+                # -- one micro-step (engine._step semantics) ------------
+                thread = core.current
+                if thread is None:
+                    thread = runqueue.pop()
+                    if thread is None:
+                        # core.time == t on every path that reaches here.
+                        thread = scheduler.on_idle(core, t)
+                        if thread is not None:
+                            core.note_woken(now if now > t else t)
+                            t = core.time
+                    if thread is None:
+                        steps_left -= 1
+                        core.note_idle()
+                        sim._maybe_poll_idle(core, now)
+                        break
+                    thread.state = ThreadState.RUNNING
+                    thread.core = cid
+                    core.current = thread
+                    if mem_ctx is not None and thread.ct_object is not None:
+                        mem_ctx[cid] = thread.ct_obj_name
+                item = thread.pending
+                if item is None:
+                    try:
+                        item = next(thread.program)
+                        thread.pending = item
+                    except StopIteration:
+                        core.time = t
+                        counters.busy_cycles += busy
+                        busy = 0
+                        sim._finish_thread(thread, core)
+                        t = core.time
+                        item = None
+                if item is not None:
+                    total_steps += 1
+                    csteps += 1
+                    cls = item.__class__
+                    if cls is Acquire:
+                        lock = item.lock
+                        if lock.try_acquire(thread):
+                            addr = lock.addr
+                            line = addr // line_size
+                            if (l1d is not None and line in l1d
+                                    and quiescent_for(line, cid)):
+                                # Quiescent store: sole holder, L1 hit —
+                                # no invalidation sweep possible.
+                                l1d.move_to_end(line)
+                                counters.l1_hits += 1
+                                counters.stores += 1
+                                counters.mem_cycles += lat_l1
+                                latency = lat_l1
+                            else:
+                                latency = mem_store(cid, addr, t)
+                            counters.lock_acquires += 1
+                            thread.spinning = False
+                            thread.pending = None
+                            busy += latency
+                            t += latency
+                        else:
+                            line = lock.addr // line_size
+                            if l1d is not None and line in l1d:
+                                l1d.move_to_end(line)
+                                counters.l1_hits += 1
+                                counters.mem_cycles += lat_l1
+                                latency = lat_l1 + spin_backoff
+                                fast_spin = True
+                            else:
+                                latency = (mem_load(cid, lock.addr, t)
+                                           + spin_backoff)
+                                fast_spin = False
+                            counters.lock_spins += 1
+                            thread.spin_cycles += latency
+                            if c_lock_spins is not None:
+                                c_lock_spins.inc()
+                            if not thread.spinning:
+                                thread.spinning = True
+                                if bus is not None \
+                                        and bus.wants(LockContended):
+                                    bus.publish(LockContended(
+                                        t, cid, thread.name, lock.name))
+                            busy += latency
+                            t += latency
+                            # -- collapse the quiescent spin run --------
+                            # Each further spin is an identical event:
+                            # constant L1 latency, no stream output, no
+                            # program advance.  Apply k of them in O(1),
+                            # where k is bounded by exactly the
+                            # conditions the continuation check applies
+                            # per event (heap horizon, epoch boundary,
+                            # until, max_steps).
+                            if fast_spin and c_lock_spins is None:
+                                if keys:
+                                    horizon = keys[0] >> SEQ_BITS
+                                    if boundary is not None \
+                                            and boundary < horizon:
+                                        horizon = boundary
+                                else:
+                                    horizon = boundary
+                                k = -1
+                                if horizon is not None:
+                                    d = horizon - t
+                                    k = ((d + latency - 1) // latency
+                                         if d > 0 else 0)
+                                if until is not None:
+                                    d = until - t
+                                    ku = d // latency + 1 if d >= 0 else 0
+                                    if k < 0 or ku < k:
+                                        k = ku
+                                if max_steps is not None \
+                                        and (k < 0 or steps_left - 1 < k):
+                                    k = steps_left - 1
+                                if k > 0:
+                                    lock.spin_attempts += k
+                                    counters.lock_spins += k
+                                    counters.l1_hits += k
+                                    counters.mem_cycles += k * lat_l1
+                                    spun = k * latency
+                                    thread.spin_cycles += spun
+                                    busy += spun
+                                    t += spun
+                                    total_steps += k
+                                    csteps += k
+                                    steps_left -= k
+                    elif cls is Compute:
+                        cycles = item.cycles
+                        if speeds is not None and cycles:
+                            cycles = max(1, round(cycles / speeds[cid]))
+                        busy += cycles
+                        t += cycles
+                        thread.pending = None
+                    elif cls is Scan:
+                        latency = mem_scan(cid, item.addr, item.nbytes, t,
+                                           item.per_line_compute)
+                        busy += latency
+                        t += latency
+                        thread.pending = None
+                    elif cls is Release:
+                        lock = item.lock
+                        lock.release(thread)
+                        addr = lock.addr
+                        line = addr // line_size
+                        if (l1d is not None and line in l1d
+                                and quiescent_for(line, cid)):
+                            l1d.move_to_end(line)
+                            counters.l1_hits += 1
+                            counters.stores += 1
+                            counters.mem_cycles += lat_l1
+                            latency = lat_l1
+                        else:
+                            latency = mem_store(cid, addr, t)
+                        busy += latency
+                        t += latency
+                        thread.pending = None
+                    else:
+                        # CtStart/CtEnd/Load/Store/Yield/OpDone and any
+                        # unknown item: flush the flat state and run the
+                        # generic handler (scheduler hooks may read the
+                        # clock and counters, and may migrate the
+                        # thread — pushing an arrival through the
+                        # intercepted _push above).
+                        core.time = t
+                        counters.busy_cycles += busy
+                        busy = 0
+                        handler = dispatch.get(cls)
+                        if handler is None:
+                            raise SimulationError(
+                                f"thread {thread.name} yielded unknown "
+                                f"item {item!r}")
+                        handler(core, thread, item)
+                        t = core.time
+                # -- continuation: the generic loop's between-event
+                # checks, against the post-step clock ------------------
+                steps_left -= 1
+                if core.current is not None or runqueue:
+                    if ((not keys or t < keys[0] >> SEQ_BITS)
+                            and (until is None or t <= until)
+                            and steps_left != 0
+                            and (ops_target is None
+                                 or sim.total_ops < ops_target)):
+                        now = t
+                        continue
+                    # Re-arm: newest seq, exactly like the generic loop's
+                    # inlined _push_step.
+                    core.time = t
+                    counters.busy_cycles += busy
+                    core.in_heap = True
+                    sim._seq += 1
+                    seq = sim._seq
+                    payloads[seq] = core
+                    heappush(keys, (t << SEQ_BITS) | seq)
+                else:
+                    # core.time == t and busy == 0 on every idle path.
+                    core.note_idle()
+                    sim._maybe_poll_idle(core, now)
+                break
+            core.steps += csteps
+        else:
+            if any(not t.done for t in sim.threads):
+                raise DeadlockError(
+                    "event heap drained with live threads: "
+                    + ", ".join(t.name for t in sim.threads if not t.done))
+    finally:
+        sim.total_steps += total_steps
+        del sim.__dict__["_push"]
+        sim._heap.extend(heap_to_tuples(heap))
+    horizon = until if until is not None else machine.now
+    machine.settle_idle(horizon)
+    return sim._result(horizon)

@@ -1,0 +1,216 @@
+"""Tests for the batched execution kernel (``repro.sim.batch``): the
+array-backed indexed event heap, kernel selection, and the byte-identical
+equivalence of the batched and generic run loops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.errors import SimulationError
+from repro.obs import Observability
+from repro.sched.thread_sched import ThreadScheduler
+from repro.sim import batch, engine
+from repro.sim.batch import (IndexedEventHeap, heap_from_tuples,
+                             heap_to_tuples)
+from repro.sim.engine import Simulator, set_default_kernel
+from repro.verify import InvariantChecker
+from repro.workloads.dirlookup import DirectoryLookupWorkload, DirWorkloadSpec
+
+from tests.helpers import tiny_spec
+
+
+# ---------------------------------------------------------------------------
+# indexed event heap
+# ---------------------------------------------------------------------------
+
+def test_kind_constants_agree_with_engine():
+    """The batch module mirrors the engine's event-kind encoding; the
+    two must never drift (cross-kernel resume depends on it)."""
+    assert batch.KIND_STEP == engine._KIND_STEP
+    assert batch.KIND_ARRIVAL == engine._KIND_ARRIVAL
+
+
+def test_heap_orders_by_time_then_seq():
+    heap = IndexedEventHeap()
+    heap.push(20, 3, "c")
+    heap.push(10, 5, "e")
+    heap.push(20, 1, "a")
+    heap.push(10, 4, "d")
+    popped = [heap.pop() for _ in range(4)]
+    assert popped == [(10, 4, "d"), (10, 5, "e"),
+                      (20, 1, "a"), (20, 3, "c")]
+
+
+def test_heap_same_timestamp_breaks_ties_by_seq():
+    """At equal times the *older* event (lower seq) wins — the property
+    the batching horizon rule relies on: a re-armed step always carries
+    the newest seq, so it loses every tie against pending events."""
+    heap = IndexedEventHeap()
+    for seq in (9, 2, 7, 1, 8):
+        heap.push(100, seq, f"p{seq}")
+    assert [heap.pop()[1] for _ in range(5)] == [1, 2, 7, 8, 9]
+
+
+def test_heap_drain_on_empty():
+    heap = IndexedEventHeap()
+    assert not heap and len(heap) == 0
+    assert heap.peek_time() is None
+    with pytest.raises(IndexError):
+        heap.pop()
+    heap.push(5, 1, "x")
+    assert heap and len(heap) == 1
+    assert heap.peek_time() == 5
+    heap.pop()
+    assert not heap and heap.peek_time() is None
+    assert heap.payloads == {}
+    with pytest.raises(IndexError):
+        heap.pop()
+
+
+def test_heap_tuple_roundtrip_preserves_order_and_kinds():
+    """Conversion to/from the generic tuple heap is what makes a run
+    resumable across kernels; pop order and kinds must survive it."""
+    core = object()                        # steps carry a Core payload
+    arrival = (object(), 3)                # arrivals carry a tuple
+    entries = [(50, 2, engine._KIND_STEP, core),
+               (10, 7, engine._KIND_ARRIVAL, arrival),
+               (50, 1, engine._KIND_ARRIVAL, arrival),
+               (90, 3, engine._KIND_STEP, core)]
+    heap = heap_from_tuples(list(entries))
+    assert len(heap) == 4
+    back = heap_to_tuples(heap)
+    import heapq
+    assert [heapq.heappop(back) for _ in range(len(back))] \
+        == sorted(entries)
+
+
+# ---------------------------------------------------------------------------
+# kernel selection
+# ---------------------------------------------------------------------------
+
+def _machine():
+    return Machine(tiny_spec())
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(SimulationError, match="unknown kernel"):
+        Simulator(_machine(), ThreadScheduler(), kernel="warp")
+    with pytest.raises(SimulationError, match="unknown kernel"):
+        set_default_kernel("warp")
+
+
+def test_default_kernel_is_construction_seam():
+    assert Simulator(_machine(), ThreadScheduler()).kernel == "generic"
+    set_default_kernel("batched")
+    try:
+        assert Simulator(_machine(), ThreadScheduler()).kernel == "batched"
+        # An explicit argument still wins over the default.
+        explicit = Simulator(_machine(), ThreadScheduler(),
+                             kernel="generic")
+        assert explicit.kernel == "generic"
+    finally:
+        set_default_kernel("generic")
+
+
+# ---------------------------------------------------------------------------
+# batched/generic equivalence
+# ---------------------------------------------------------------------------
+
+def _run(tmp_path, tag, kernel, checker=None, until=150_000, **run_kwargs):
+    machine = _machine()
+    obs = Observability(events=True)
+    simulator = Simulator(machine, ThreadScheduler(), obs=obs,
+                          checker=checker, kernel=kernel)
+    spec = DirWorkloadSpec(n_dirs=6, files_per_dir=32, cluster_bytes=512,
+                           think_cycles=10, threads_per_core=2, seed=7)
+    DirectoryLookupWorkload(machine, spec).spawn_all(simulator)
+    result = simulator.run(until=until, **run_kwargs)
+    path = tmp_path / f"{tag}.events.jsonl"
+    obs.write_jsonl(str(path))
+    return path.read_bytes(), simulator, result
+
+
+def _assert_state_equal(sim_a, res_a, sim_b, res_b):
+    for field in ("ops", "steps", "horizon_cycles", "migrations",
+                  "dram_lines", "dram_queued_cycles",
+                  "cross_chip_messages"):
+        assert getattr(res_a, field) == getattr(res_b, field), field
+    assert res_a.counters == res_b.counters
+    for core_a, core_b in zip(sim_a.machine.cores, sim_b.machine.cores):
+        assert core_a.time == core_b.time
+        assert core_a.steps == core_b.steps
+        assert (core_a.counters.snapshot().values
+                == core_b.counters.snapshot().values)
+
+
+def test_batched_stream_byte_identical_to_generic(tmp_path):
+    generic, sim_g, res_g = _run(tmp_path, "generic", "generic")
+    batched, sim_b, res_b = _run(tmp_path, "batched", "batched")
+    assert generic == batched
+    _assert_state_equal(sim_g, res_g, sim_b, res_b)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_steps": 500},
+    {"max_ops": 40, "until": None},
+    {"until": 60_000, "max_steps": 3000},
+])
+def test_batched_honours_run_limits_like_generic(tmp_path, kwargs):
+    generic, sim_g, res_g = _run(tmp_path, "generic-lim", "generic",
+                                 **kwargs)
+    batched, sim_b, res_b = _run(tmp_path, "batched-lim", "batched",
+                                 **kwargs)
+    assert generic == batched
+    _assert_state_equal(sim_g, res_g, sim_b, res_b)
+
+
+def test_cross_kernel_resume_matches_straight_run(tmp_path):
+    """Stop a batched run mid-flight and resume it on the generic
+    kernel: the heap conversion must re-arm every pending event in the
+    original order, giving the same final state as one generic run."""
+    _, sim_ref, res_ref = _run(tmp_path, "ref", "generic", until=150_000)
+    machine = _machine()
+    simulator = Simulator(machine, ThreadScheduler(), kernel="batched")
+    spec = DirWorkloadSpec(n_dirs=6, files_per_dir=32, cluster_bytes=512,
+                           think_cycles=10, threads_per_core=2, seed=7)
+    DirectoryLookupWorkload(machine, spec).spawn_all(simulator)
+    simulator.run(until=75_000)
+    simulator.kernel = "generic"
+    res = simulator.run(until=150_000)
+    _assert_state_equal(sim_ref, res_ref, simulator, res)
+
+
+def test_checker_forces_generic_fallback(tmp_path):
+    """With an invariant checker attached, ``kernel="batched"`` must
+    transparently run the generic loop (the checker introspects the
+    tuple heap between events) and still match the oracle."""
+    generic, sim_g, res_g = _run(tmp_path, "gen-chk", "generic")
+    checked, sim_c, res_c = _run(tmp_path, "bat-chk", "batched",
+                                 checker=InvariantChecker(interval=64))
+    assert generic == checked
+    _assert_state_equal(sim_g, res_g, sim_c, res_c)
+    assert sim_c.checker.checks > 0        # the checker actually ran
+
+
+def test_batched_run_drains_heap_on_completion():
+    """Run finite programs to completion (no until): both kernels end
+    with an empty heap and every thread done."""
+    from repro.threads.program import Compute, OpDone
+
+    def finite(n):
+        for _ in range(n):
+            yield Compute(25)
+            yield OpDone()
+
+    for kernel in ("generic", "batched"):
+        machine = _machine()
+        simulator = Simulator(machine, ThreadScheduler(), kernel=kernel)
+        for core_id in range(machine.n_cores):
+            simulator.spawn(finite(3 + core_id), f"t{core_id}",
+                            core_id=core_id)
+        result = simulator.run(until=1_000_000)
+        assert simulator._heap == []
+        assert all(thread.done for thread in simulator.threads)
+        assert result.ops == sum(3 + c for c in range(machine.n_cores))
