@@ -3,52 +3,64 @@
 Every figure and ablation reduces to the same experiment: build a machine,
 attach a scheduler, spawn the workload, warm up, measure throughput over a
 window.  :func:`run_point` is that experiment; :func:`sweep` maps it over
-a parameter axis; :data:`SCHEDULERS` names the scheduler configurations
-benchmarks compare.
+a parameter axis; :data:`SCHEDULERS` is a dict-like live view of the
+scheduler registry (:mod:`repro.sched.registry`) — the scheduler
+configurations benchmarks compare, kept here as a back-compat alias.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
-from repro.core.coretime import CoreTimeConfig, CoreTimeScheduler
 from repro.cpu.machine import Machine
 from repro.cpu.topology import MachineSpec
 from repro.errors import ConfigError
+from repro.sched import registry
 from repro.sched.base import SchedulerRuntime
-from repro.sched.cache_sharing import CacheSharingScheduler
-from repro.sched.thread_clustering import ThreadClusteringScheduler
-from repro.sched.thread_sched import ThreadScheduler
-from repro.sched.work_stealing import WorkStealingScheduler
+from repro.sched.registry import (BENCH_MONITOR_INTERVAL as
+                                  BENCH_MONITOR_INTERVAL,
+                                  coretime_factory as coretime_factory)
 from repro.sim.engine import Simulator
 from repro.workloads.dirlookup import DirectoryLookupWorkload, DirWorkloadSpec
-
-#: Default monitoring window used in benchmarks on scaled machines.
-BENCH_MONITOR_INTERVAL = 100_000
 
 SchedulerFactory = Callable[[], SchedulerRuntime]
 
 
-def coretime_factory(**config_changes) -> SchedulerFactory:
-    """Factory for a CoreTime scheduler with benchmark-friendly defaults."""
-    def make() -> CoreTimeScheduler:
-        config = CoreTimeConfig(monitor_interval=BENCH_MONITOR_INTERVAL)
-        if config_changes:
-            config = config.replace(**config_changes)
-        return CoreTimeScheduler(config)
-    return make
+class _RegistryView(Mapping):
+    """Read-only dict view of :mod:`repro.sched.registry`.
+
+    Keeps the historical ``SCHEDULERS[name]`` / ``name in SCHEDULERS`` /
+    ``sorted(SCHEDULERS)`` idioms working while making every registered
+    scheduler — including ones registered after import — visible to the
+    bench layer.  Lookups raise :class:`KeyError` (the Mapping contract)
+    so existing ``except KeyError`` error paths keep their messages.
+    """
+
+    def __getitem__(self, name: str) -> SchedulerFactory:
+        try:
+            return registry.resolve(name)
+        except ConfigError:
+            raise KeyError(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in registry.names()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(registry.names())
+
+    def __len__(self) -> int:
+        return len(registry.names())
+
+    def __repr__(self) -> str:
+        return f"SCHEDULERS({', '.join(registry.names())})"
 
 
-SCHEDULERS: Dict[str, SchedulerFactory] = {
-    "thread": ThreadScheduler,
-    "work-stealing": WorkStealingScheduler,
-    "thread-clustering": ThreadClusteringScheduler,
-    "cache-sharing": CacheSharingScheduler,
-    "coretime": coretime_factory(),
-    "coretime-norebalance": coretime_factory(rebalance=False),
-}
+#: Back-compat alias: the scheduler registry, as the dict this module
+#: used to define.  Register new schedulers via ``repro.sched.register``.
+SCHEDULERS: Mapping = _RegistryView()
 
 
 @dataclass

@@ -1,17 +1,35 @@
-"""Baseline schedulers (the paper's comparison points)."""
+"""Schedulers: the paper's baselines, the time-sharing classics, and
+the registry every tool resolves them through (see
+:mod:`repro.sched.registry`)."""
 
+from repro.sched import registry
 from repro.sched.base import SchedulerRuntime
 from repro.sched.cache_sharing import CacheSharingScheduler
+from repro.sched.cfs import CFSScheduler
+from repro.sched.mlfq import MLFQScheduler
+from repro.sched.registry import SchedulerEntry, register, resolve
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sched.sjf import ShortestJobFirstScheduler
 from repro.sched.thread_clustering import (ThreadClusteringScheduler,
                                            cosine_similarity)
 from repro.sched.thread_sched import ThreadScheduler
+from repro.sched.timeshare import TimeSharingScheduler
 from repro.sched.work_stealing import WorkStealingScheduler
 
 __all__ = [
+    "CFSScheduler",
     "CacheSharingScheduler",
+    "MLFQScheduler",
+    "RoundRobinScheduler",
+    "SchedulerEntry",
     "SchedulerRuntime",
+    "ShortestJobFirstScheduler",
     "ThreadClusteringScheduler",
     "ThreadScheduler",
+    "TimeSharingScheduler",
     "WorkStealingScheduler",
     "cosine_similarity",
+    "register",
+    "registry",
+    "resolve",
 ]

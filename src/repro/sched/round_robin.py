@@ -1,0 +1,21 @@
+"""Round-robin time sharing with a configurable quantum.
+
+The oldest policy in the book, as the floor of the scheduler tournament:
+threads are placed round-robin and each gets ``quantum`` service cycles
+before the next operation boundary hands the core to the next waiter in
+FIFO order.  No priorities, no history — every difference between this
+and the smarter policies is signal.
+"""
+
+from __future__ import annotations
+
+from repro.sched.timeshare import TimeSharingScheduler
+
+
+class RoundRobinScheduler(TimeSharingScheduler):
+    """FIFO time slicing: preempt after ``quantum`` service cycles."""
+
+    name = "rr"
+
+    def __init__(self, quantum: int = 2500) -> None:
+        super().__init__(quantum=quantum)

@@ -210,6 +210,86 @@ def render_report(name: str, records: Iterable[Optional[dict]],
     return "\n".join(parts)
 
 
+def render_rank(cells: Sequence[SweepCell], pivot: str) -> str:
+    """Ranked scheduler x workload speedup matrix against ``pivot``.
+
+    One row per scheduler, one column per (machine, workload)
+    coordinate the pivot completed, each cell the seed-paired mean
+    speedup of that scheduler over the pivot (``compare_schedulers``
+    pairing — a '*' marks a robust cell, i.e. the scheduler won or
+    lost on *every* seed the same way).  Rows are ranked by the
+    geometric mean across coordinates, so the table reads top-to-bottom
+    as the tournament result.
+    """
+    pivot_cells = [cell for cell in cells if cell.scheduler == pivot]
+    if not pivot_cells:
+        return f"(no completed cells for pivot {pivot!r})"
+    # Columns in sweep-axis order: by machine, then x coordinate.
+    coords = [(cell.machine, cell.workload)
+              for cell in sorted(
+                  pivot_cells,
+                  key=lambda c: (c.machine,
+                                 c.x if c.x is not None else float("inf"),
+                                 c.workload))]
+    many_machines = len({machine for machine, _ in coords}) > 1
+    def coord_label(machine: str, workload: str) -> str:
+        return f"{machine}/{workload}" if many_machines else workload
+    schedulers = sorted({cell.scheduler for cell in cells})
+    rows = []                     # (geomean, name, per-coord cells, text)
+    for scheduler in schedulers:
+        if scheduler == pivot:
+            continue
+        comparisons = compare_schedulers(cells, pivot, scheduler)
+        texts = []
+        ratios = []
+        for coord in coords:
+            result = comparisons.get(coord)
+            if result is None:
+                texts.append("-")
+                continue
+            ratios.append(result.mean_speedup)
+            consistent = (all(r > 1.0 for r in result.per_seed_ratios)
+                          or all(r < 1.0 for r in result.per_seed_ratios))
+            texts.append(f"{result.mean_speedup:.2f}x"
+                         + ("*" if consistent else ""))
+        positive = [r for r in ratios if r > 0]
+        if positive:
+            geomean = math.exp(sum(math.log(r) for r in positive)
+                               / len(positive))
+            mean_text = f"{geomean:.2f}x"
+        else:
+            geomean = float("-inf")
+            mean_text = "-"
+        rows.append((geomean, scheduler, texts, mean_text))
+    # The pivot ranks where its 1.00x geomean falls.
+    ranked = sorted(
+        rows + [(1.0, pivot, ["1.00x" for _ in coords], "1.00x")],
+        key=lambda row: (-row[0], row[1]))
+    table_rows = [
+        [str(position + 1), scheduler] + texts + [mean_text]
+        for position, (_, scheduler, texts, mean_text)
+        in enumerate(ranked)]
+    headers = (["#", "scheduler"]
+               + [coord_label(machine, workload)
+                  for machine, workload in coords]
+               + ["geomean"])
+    legend = (f"speedup vs {pivot} (seed-paired mean; "
+              "* = same winner on every seed)")
+    return _format_table(headers, table_rows) + "\n" + legend
+
+
+def render_rank_report(name: str, records: Iterable[Optional[dict]],
+                       pivot: str) -> str:
+    """The ``report --rank`` payload: ranked matrix + failures."""
+    records = list(records)
+    parts = [f"tournament rank: {name} (pivot: {pivot})", "",
+             render_rank(fold_records(records), pivot)]
+    failures = render_failures(records)
+    if failures:
+        parts.extend(["", failures])
+    return "\n".join(parts)
+
+
 def diff_cells(base_cells: Sequence[SweepCell],
                cand_cells: Sequence[SweepCell]) -> str:
     """Cell-by-cell mean deltas between two sweeps (e.g. two commits)."""

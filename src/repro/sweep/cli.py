@@ -53,7 +53,8 @@ from typing import Optional
 
 from repro.errors import ReproError
 from repro.sweep.aggregate import (export_events_jsonl, fold_records,
-                                   diff_cells, render_report)
+                                   diff_cells, render_rank_report,
+                                   render_report)
 from repro.sweep.presets import PRESETS
 from repro.sweep.runner import RunnerOptions, run_sweep
 from repro.sweep.spec import SweepSpec, code_fingerprint
@@ -139,10 +140,20 @@ def _spec_and_store(args):
 
     Returns ``(spec, store)`` or an int exit code on a usage error.
     """
+    name = args.preset if args.preset is not None else args.preset_opt
+    if name is None:
+        print(f"no preset given; choose from {sorted(PRESETS)}",
+              file=sys.stderr)
+        return 1
+    if args.preset is not None and args.preset_opt is not None \
+            and args.preset != args.preset_opt:
+        print(f"conflicting presets: {args.preset!r} vs --preset "
+              f"{args.preset_opt!r}", file=sys.stderr)
+        return 1
     try:
-        preset = PRESETS[args.preset]
+        preset = PRESETS[name]
     except KeyError:
-        print(f"unknown preset {args.preset!r}; "
+        print(f"unknown preset {name!r}; "
               f"choose from {sorted(PRESETS)}", file=sys.stderr)
         return 1
     kwargs = {}
@@ -323,7 +334,10 @@ def cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.dir)
     spec = store.load_spec()
     records = _records_in_grid_order(store, spec)
-    text = render_report(spec.name, records, spec.schedulers)
+    if args.rank:
+        text = render_rank_report(spec.name, records, args.pivot)
+    else:
+        text = render_report(spec.name, records, spec.schedulers)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
@@ -388,8 +402,11 @@ def main(argv=None) -> int:
 
     run = sub.add_parser(
         "run", help="run a preset sweep (see `run --help` for presets)")
-    run.add_argument("preset", choices=sorted(PRESETS),
-                     help="which grid to run")
+    run.add_argument("preset", nargs="?", choices=sorted(PRESETS),
+                     default=None, help="which grid to run")
+    run.add_argument("--preset", dest="preset_opt", metavar="NAME",
+                     choices=sorted(PRESETS), default=None,
+                     help="which grid to run (same as the positional)")
     run.add_argument("--out", metavar="DIR", default=None,
                      help="result-store directory (default: "
                           "benchmarks/results/sweeps/<preset>)")
@@ -416,8 +433,11 @@ def main(argv=None) -> int:
     serve = sub.add_parser(
         "serve", help="coordinate a sweep over TCP, leasing cells to "
                       "`repro-sweep work` processes")
-    serve.add_argument("preset", choices=sorted(PRESETS),
-                       help="which grid to serve")
+    serve.add_argument("preset", nargs="?", choices=sorted(PRESETS),
+                       default=None, help="which grid to serve")
+    serve.add_argument("--preset", dest="preset_opt", metavar="NAME",
+                       choices=sorted(PRESETS), default=None,
+                       help="which grid to serve (same as the positional)")
     serve.add_argument("--out", metavar="DIR", default=None,
                        help="result-store directory (default: "
                             "benchmarks/results/sweeps/<preset>)")
@@ -485,6 +505,13 @@ def main(argv=None) -> int:
                         help="write the report to a file")
     report.add_argument("--events-out", metavar="PATH", default=None,
                         help="also export the schema-v5 JSONL stream")
+    report.add_argument("--rank", action="store_true",
+                        help="render the ranked scheduler x workload "
+                             "speedup matrix instead of the pairwise "
+                             "tables (the tournament view)")
+    report.add_argument("--pivot", default="coretime", metavar="NAME",
+                        help="baseline scheduler for --rank speedups "
+                             "(default: coretime)")
     report.set_defaults(func=cmd_report)
 
     diff = sub.add_parser(

@@ -127,10 +127,44 @@ def web(n_seeds: int = 3,
         warmup_cycles=1_000_000, measure_cycles=1_500_000)
 
 
+def tournament(n_seeds: int = 2,
+               root_seed: Optional[int] = PRESET_ROOT_SEED) -> SweepSpec:
+    """Every registry scheduler x shared workloads x seeds on tiny.
+
+    The scheduler-zoo headline grid: O2 against the whole field —
+    placement baselines, locality clustering, and the time-sharing
+    classics — on one machine and workload set, seed-paired so
+    ``repro-sweep report --rank`` can render the speedup matrix with
+    coretime as the pivot.  Cells are tiny-machine sized (the CI
+    ``tournament-smoke`` job runs the full grid), and the seed axis
+    scales it up via ``--seeds`` like every other preset.
+    """
+    from repro.sched import registry
+    names = registry.names()
+    # Baselines first: render_report's pairwise tables use the first
+    # entry as the baseline, and thread-vs-everything is the classic cut.
+    schedulers = ("thread", "coretime") + tuple(
+        name for name in names if name not in ("thread", "coretime"))
+    tiny = MachineSpec.tiny()
+    workloads = tuple(
+        _dir_axis(f"dirs{n}", DirWorkloadSpec(
+            n_dirs=n, files_per_dir=32, cluster_bytes=512,
+            think_cycles=10, threads_per_core=2))
+        for n in (4, 12, 24))
+    return SweepSpec(
+        name="tournament",
+        machines=(MachineAxis("tiny", tiny),),
+        schedulers=schedulers,
+        workloads=workloads,
+        n_seeds=n_seeds, root_seed=root_seed,
+        warmup_cycles=30_000, measure_cycles=60_000)
+
+
 PRESETS: Dict[str, Callable[..., SweepSpec]] = {
     "smoke": smoke,
     "fig2": fig2,
     "fig4a": fig4a,
     "fig4b": fig4b,
     "web": web,
+    "tournament": tournament,
 }

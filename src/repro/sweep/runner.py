@@ -104,13 +104,11 @@ class SweepOutcome:
 
 
 def _scheduler_factory(name: str):
-    from repro.bench.harness import SCHEDULERS
-    try:
-        return SCHEDULERS[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown scheduler {name!r}; "
-            f"choose from {sorted(SCHEDULERS)}") from None
+    # The registry is the single source of truth (the bench harness's
+    # SCHEDULERS is a view of it); resolve raises ConfigError listing
+    # every registered name.
+    from repro.sched import registry
+    return registry.resolve(name)
 
 
 def _workload_factory(kind: str):

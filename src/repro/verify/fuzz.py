@@ -41,15 +41,24 @@ from repro.errors import ConfigError, SimulationError
 from repro.mem.cache import LRUCache
 from repro.mem.counters import aggregate
 from repro.obs import Observability, events_to_jsonl
-from repro.sched.thread_sched import ThreadScheduler
-from repro.sched.work_stealing import WorkStealingScheduler
+from repro.sched import registry
+from repro.sched.timeshare import TimeSharingScheduler
 from repro.sim.engine import Simulator
 from repro.sim.rng import derive_seed
 from repro.verify.faults import FaultPlan
 from repro.verify.invariants import InvariantChecker, InvariantViolation
 from repro.workloads.synthetic import ObjectOpsSpec, ObjectOpsWorkload
 
-SCHEDULERS = ("thread", "work_stealing", "coretime")
+#: Historical scheduler spellings still accepted in saved repro commands.
+_SCHEDULER_ALIASES = {"work_stealing": "work-stealing"}
+
+
+def scheduler_axis() -> Tuple[str, ...]:
+    """Scheduler names the case generator draws from: every registry
+    entry marked fuzzable (config variants of an already-fuzzed
+    scheduler opt out).  Registering a scheduler grows fuzz coverage
+    automatically."""
+    return registry.fuzzable_names()
 
 
 class _GenericLRU(LRUCache):
@@ -86,6 +95,9 @@ class FuzzCase:
     return_home: bool = True
     rebalance: bool = True
     monitor_interval: int = 30_000
+    #: Service-cycle quantum applied to time-sharing schedulers (rr,
+    #: cfs, sjf, mlfq); ignored by the rest.
+    quantum: int = 2500
     # -- workload (ObjectOpsSpec) --------------------------------------
     n_objects: int = 4
     object_bytes: int = 512
@@ -94,6 +106,8 @@ class FuzzCase:
     pair_probability: float = 0.0
     popularity: str = "uniform"
     with_locks: bool = True
+    #: Threads per core (>1 fills run queues, exercising preemption).
+    threads_per_core: int = 1
     # -- run -----------------------------------------------------------
     horizon: int = 80_000
 
@@ -120,7 +134,7 @@ def generate_case(seed: int) -> FuzzCase:
     rng = random.Random(derive_seed(seed, "fuzz-case"))
     n_chips, cores_per_chip = rng.choice(
         ((1, 2), (1, 4), (2, 1), (2, 2), (2, 4), (4, 2)))
-    scheduler = rng.choice(SCHEDULERS)
+    scheduler = rng.choice(scheduler_axis())
     return FuzzCase(
         seed=seed,
         n_chips=n_chips,
@@ -136,6 +150,7 @@ def generate_case(seed: int) -> FuzzCase:
         return_home=rng.random() < 0.8,
         rebalance=rng.random() < 0.8,
         monitor_interval=rng.choice((20_000, 30_000, 50_000)),
+        quantum=rng.choice((1_000, 2_500, 5_000)),
         n_objects=rng.choice((2, 4, 8)),
         object_bytes=rng.choice((256, 512, 1024)),
         think_cycles=rng.choice((0, 50, 100)),
@@ -143,6 +158,7 @@ def generate_case(seed: int) -> FuzzCase:
         pair_probability=rng.choice((0.0, 0.0, 0.3)),
         popularity=rng.choice(("uniform", "zipf")),
         with_locks=rng.random() < 0.7,
+        threads_per_core=rng.choice((1, 1, 2)),
         horizon=rng.choice((60_000, 100_000, 150_000)),
     )
 
@@ -168,17 +184,19 @@ def build_machine(case: FuzzCase,
 
 
 def build_scheduler(case: FuzzCase):
-    if case.scheduler == "thread":
-        return ThreadScheduler()
-    if case.scheduler == "work_stealing":
-        return WorkStealingScheduler()
-    if case.scheduler == "coretime":
+    name = _SCHEDULER_ALIASES.get(case.scheduler, case.scheduler)
+    if name == "coretime":
+        # The fuzzer owns CoreTime's config knobs (the registry factory
+        # carries benchmark defaults instead).
         return CoreTimeScheduler(CoreTimeConfig(
             monitor_interval=case.monitor_interval,
             packing=case.packing,
             return_home=case.return_home,
             rebalance=case.rebalance))
-    raise ConfigError(f"unknown scheduler {case.scheduler!r}")
+    scheduler = registry.create(name)     # raises ConfigError if unknown
+    if isinstance(scheduler, TimeSharingScheduler):
+        scheduler.quantum = case.quantum
+    return scheduler
 
 
 def workload_spec(case: FuzzCase) -> ObjectOpsSpec:
@@ -188,7 +206,8 @@ def workload_spec(case: FuzzCase) -> ObjectOpsSpec:
         write_fraction=case.write_fraction,
         pair_probability=case.pair_probability,
         popularity=case.popularity, with_locks=case.with_locks,
-        annotated=True, seed=case.seed)
+        annotated=True, seed=case.seed,
+        threads_per_core=case.threads_per_core)
 
 
 def run_case(case: FuzzCase, generic: bool = False,
@@ -340,6 +359,8 @@ def _shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
         yield case.replace(object_bytes=max(64, case.object_bytes // 2))
     if case.scheduler != "thread":
         yield case.replace(scheduler="thread")
+    if case.threads_per_core > 1:
+        yield case.replace(threads_per_core=1)
     if case.write_fraction:
         yield case.replace(write_fraction=0.0)
     if case.pair_probability:

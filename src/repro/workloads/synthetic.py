@@ -49,10 +49,15 @@ class ObjectOpsSpec:
     seed: int = 7
     #: Scan only this fraction of the object per op (1.0 = full scan).
     scan_fraction: float = 1.0
+    #: Threads pinned per core (>1 keeps run queues non-empty, which is
+    #: what exercises the time-sharing schedulers' preemption paths).
+    threads_per_core: int = 1
 
     def validate(self) -> None:
         if self.n_objects < 1 or self.object_bytes < 1:
             raise ConfigError("need at least one object with one byte")
+        if self.threads_per_core < 1:
+            raise ConfigError("threads_per_core must be >= 1")
         for name in ("write_fraction", "pair_probability", "scan_fraction"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -114,9 +119,12 @@ class ObjectOpsWorkload:
         if spec.annotated:
             yield CtEnd()
 
-    def make_program(self, core_id: int) -> Iterator:
+    def make_program(self, core_id: int, lane: int = 0) -> Iterator:
         spec = self.spec
-        rng = make_rng(spec.seed, "objops", core_id)
+        # Lane 0 keeps the historical RNG label so single-thread-per-core
+        # runs (every pre-existing workload) stay byte-identical.
+        rng = (make_rng(spec.seed, "objops", core_id) if lane == 0
+               else make_rng(spec.seed, "objops", core_id, lane))
         core = self.machine.cores[core_id]
         popularity = self.popularity
         think = Compute(spec.think_cycles) if spec.think_cycles else None
@@ -135,4 +143,14 @@ class ObjectOpsWorkload:
         return program()
 
     def spawn_all(self, simulator) -> list:
-        return simulator.spawn_per_core(self.make_program, "objops")
+        if self.spec.threads_per_core == 1:
+            return simulator.spawn_per_core(self.make_program, "objops")
+        threads = []
+        for lane in range(self.spec.threads_per_core):
+            for core_id in range(self.machine.n_cores):
+                name = (f"objops-{core_id}" if lane == 0
+                        else f"objops-{core_id}.{lane}")
+                threads.append(simulator.spawn(
+                    self.make_program(core_id, lane), name,
+                    core_id=core_id))
+        return threads

@@ -501,3 +501,106 @@ class TestCli:
 
     def test_unknown_store_directory_errors(self, tmp_path):
         assert sweep_main(["status", str(tmp_path / "nope")]) == 1
+
+
+# ---------------------------------------------------------------------------
+# the tournament preset and the ranked report
+# ---------------------------------------------------------------------------
+
+class TestTournamentPreset:
+    def test_covers_the_whole_registry(self):
+        from repro.sched import registry
+        from repro.sweep.presets import PRESETS
+        spec = PRESETS["tournament"]()
+        assert set(spec.schedulers) == set(registry.names())
+        assert len(spec.schedulers) >= 8
+        # Baselines lead so render_report's pairwise tables use them.
+        assert spec.schedulers[:2] == ("thread", "coretime")
+
+    def test_grid_expansion(self):
+        from repro.sweep.presets import PRESETS
+        spec = PRESETS["tournament"]()
+        cases = spec.expand()
+        assert len(cases) == (len(spec.schedulers)
+                              * len(spec.workloads) * spec.n_seeds)
+
+
+class TestRenderRank:
+    def _records(self, values_by_sched, workload="w"):
+        records = []
+        for sched, values in values_by_sched.items():
+            for seed_index, value in enumerate(values):
+                case = {"machine_label": "m", "scheduler": sched,
+                        "workload_label": workload,
+                        "seed_index": seed_index, "seed": seed_index,
+                        "x": 1.0}
+                records.append(make_record(
+                    f"{sched}-{workload}-{seed_index}", case, "fp", "ok",
+                    point={"kops_per_sec": value}))
+        return records
+
+    def test_rows_ranked_by_speedup_with_pivot_inline(self):
+        from repro.sweep.aggregate import fold_records, render_rank
+        records = self._records({"base": [100.0, 100.0],
+                                 "fast": [200.0, 220.0],
+                                 "slow": [50.0, 52.0]})
+        text = render_rank(fold_records(records), "base")
+        lines = [line for line in text.splitlines() if line.strip()]
+        order = [line.split()[1] for line in lines
+                 if line.strip()[0].isdigit()]
+        assert order == ["fast", "base", "slow"]
+        assert "2.10x*" in text          # robust mean speedup, starred
+        assert "speedup vs base" in text
+
+    def test_inconsistent_seeds_lose_the_star(self):
+        from repro.sweep.aggregate import fold_records, render_rank
+        records = self._records({"base": [100.0, 100.0],
+                                 "mixed": [150.0, 50.0]})
+        text = render_rank(fold_records(records), "base")
+        assert "1.00x*" not in text
+        assert "*" not in [cell for line in text.splitlines()
+                           for cell in line.split()
+                           if cell.startswith("1.00x")]
+
+    def test_missing_pivot_reports_cleanly(self):
+        from repro.sweep.aggregate import fold_records, render_rank
+        records = self._records({"fast": [200.0]})
+        text = render_rank(fold_records(records), "base")
+        assert "no completed cells for pivot" in text
+
+    def test_missing_candidate_coord_renders_dash(self):
+        from repro.sweep.aggregate import fold_records, render_rank
+        records = (self._records({"base": [100.0], "fast": [200.0]},
+                                 workload="w1")
+                   + self._records({"base": [100.0]}, workload="w2"))
+        text = render_rank(fold_records(records), "base")
+        fast_line = next(line for line in text.splitlines()
+                         if " fast " in f" {line} ")
+        assert "-" in fast_line.split()
+
+    def test_cli_rank_report_over_tournament(self, tmp_path, capsys):
+        from repro.sched import registry
+        out = str(tmp_path / "sw")
+        assert sweep_main(["run", "--preset", "tournament", "--out", out,
+                           "--workers", "0", "--seeds", "1",
+                           "--quiet"]) == 0
+        rank_path = tmp_path / "rank.txt"
+        assert sweep_main(["report", out, "--rank",
+                           "-o", str(rank_path)]) == 0
+        text = rank_path.read_text()
+        assert "tournament rank: tournament (pivot: coretime)" in text
+        for name in registry.names():
+            assert name in text
+        assert sweep_main(["report", out, "--rank", "--pivot", "thread",
+                           "-o", str(rank_path)]) == 0
+        assert "(pivot: thread)" in rank_path.read_text()
+
+    def test_preset_argument_forms(self, tmp_path, capsys):
+        out = str(tmp_path / "sw")
+        # No preset at all is a usage error listing the choices.
+        assert sweep_main(["run", "--out", out, "--quiet"]) == 1
+        assert "no preset given" in capsys.readouterr().err
+        # Positional and option forms must agree when both are given.
+        assert sweep_main(["run", "smoke", "--preset", "fig2",
+                           "--out", out, "--quiet"]) == 1
+        assert "conflicting presets" in capsys.readouterr().err
