@@ -36,6 +36,7 @@ def _describe(runner) -> str:
 
 
 def _list_experiments() -> str:
+    from repro.workloads import scenarios
     width = max(len(name) for name in EXPERIMENTS)
     lines = ["available experiments:"]
     for name in sorted(EXPERIMENTS):
@@ -43,6 +44,14 @@ def _list_experiments() -> str:
     lines.append(f"  {'all':<{width}}  every experiment above, in order")
     lines.append(f"  {'perf':<{width}}  simulator performance kernels "
                  "(regression gate; see --baseline/--check)")
+    lines.append(f"  {'scenario':<{width}}  one named workload scenario "
+                 "(--scenario NAME|all)")
+    lines.append("")
+    lines.append("registered scenarios (--scenario):")
+    name_width = max(len(item.name) for item in scenarios.entries())
+    for item in scenarios.entries():
+        lines.append(f"  {item.name:<{name_width}}  [{item.stress}] "
+                     f"{item.summary}")
     return "\n".join(lines)
 
 
@@ -57,15 +66,76 @@ def _derived_path(path: str, name: str, many: bool) -> str:
     return f"{stem}.{name}.{suffix}"
 
 
+def _run_scenarios(args) -> int:
+    """The 'scenario' experiment: one or every registered scenario."""
+    from repro.bench.figures import run_scenario
+    from repro.errors import ReproError
+    from repro.workloads import scenarios
+    if not args.scenario:
+        print("scenario experiment needs --scenario NAME (or 'all'); "
+              f"registered: {', '.join(scenarios.names())}",
+              file=sys.stderr)
+        return 1
+    names = (list(scenarios.names()) if args.scenario == "all"
+             else args.scenario.split(","))
+    many = len(names) > 1
+    want_events = (args.trace_out is not None
+                   or args.events_out is not None
+                   or args.profile_out is not None)
+    want_obs = want_events or args.metrics_out is not None
+    for name in names:
+        obs = Observability(events=want_events) if want_obs else None
+        started = time.perf_counter()
+        try:
+            result = run_scenario(name, seed=args.seed, obs=obs)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - started
+        path = save_report(result.name, result.report)
+        if not args.quiet:
+            print(result.report)
+            print()
+        print(f"[{result.name}] {elapsed:.1f}s -> {path}")
+        if obs is not None:
+            if args.trace_out is not None:
+                out = _derived_path(args.trace_out, name, many)
+                obs.write_chrome_trace(out)
+                print(f"[{result.name}] trace -> {out}")
+            if args.events_out is not None:
+                out = _derived_path(args.events_out, name, many)
+                obs.write_jsonl(out)
+                print(f"[{result.name}] events -> {out}")
+            if args.profile_out is not None:
+                profile_name = (f"{args.profile_out}.{name}" if many
+                                else args.profile_out)
+                out = save_report(profile_name, obs.profile_report())
+                print(f"[{result.name}] profile -> {out}")
+            if args.metrics_out is not None:
+                out = _derived_path(args.metrics_out, name, many)
+                with open(out, "w", encoding="utf-8") as stream:
+                    json.dump(obs.metrics_snapshot(), stream, indent=2,
+                              sort_keys=True)
+                    stream.write("\n")
+                print(f"[{result.name}] metrics -> {out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's figures and the ablations.")
     parser.add_argument("experiment", nargs="?",
-                        choices=sorted(EXPERIMENTS) + ["all", "perf"],
+                        choices=sorted(EXPERIMENTS) + ["all", "perf",
+                                                       "scenario"],
                         help="which experiment to run "
                              "(see --list for descriptions); 'perf' runs "
-                             "the simulator performance kernels")
+                             "the simulator performance kernels; "
+                             "'scenario' runs a named workload scenario")
+    parser.add_argument("--scenario", metavar="NAME", default=None,
+                        help="scenario name for the 'scenario' "
+                             "experiment ('all' runs every registered "
+                             "scenario; see --list)")
     parser.add_argument("--list", action="store_true",
                         help="list experiments with one-line descriptions "
                              "and exit")
@@ -141,6 +211,8 @@ def main(argv=None) -> int:
     if args.experiment == "perf":
         from repro.bench.perf import main_perf
         return main_perf(args)
+    if args.experiment == "scenario":
+        return _run_scenarios(args)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

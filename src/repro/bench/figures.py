@@ -538,6 +538,51 @@ def packing_policy_ablation(n_dirs: int = 320, scale: int = BENCH_SCALE,
     return FigureResult("packing_policy", series, report)
 
 
+# ---------------------------------------------------------------------------
+# named workload scenarios (repro.workloads.scenarios)
+# ---------------------------------------------------------------------------
+
+def run_scenario(name: str, seed: Optional[int] = None,
+                 schedulers: Sequence[str] = ("thread", "coretime"),
+                 warmup_cycles: int = 120_000,
+                 measure_cycles: int = 200_000, obs=None) -> FigureResult:
+    """One registered scenario, thread vs CoreTime on the tiny machine.
+
+    The quick interactive view of a scenario (``python -m repro.bench
+    scenario --scenario NAME``); the full cross-scheduler matrix is the
+    ``scenarios`` sweep preset.
+    """
+    from repro.workloads import scenarios as catalog
+    from repro.workloads.scenarios import ScenarioSpec
+    item = catalog.resolve(name)
+    spec = ScenarioSpec(name=name)
+    machine_spec = MachineSpec.tiny()
+    series = []
+    for scheduler in schedulers:
+        try:
+            factory = SCHEDULERS[scheduler]
+        except KeyError:
+            raise ConfigError(
+                f"unknown scheduler {scheduler!r}; "
+                f"choose from {sorted(SCHEDULERS)}") from None
+        point = run_point(
+            machine_spec, factory, spec,
+            warmup_cycles=warmup_cycles, measure_cycles=measure_cycles,
+            workload_factory=catalog.build, seed=seed, obs=obs)
+        series.append(Series(scheduler, [point]))
+    ops = catalog.compile_spec(spec)
+    report = figure_report(
+        f"scenario {name} [{item.stress}]: {item.summary}",
+        series, x_label="footprint (KB)",
+        y_label="1000s of operations per second",
+        notes=(f"seed-deterministic scenario from "
+               f"repro.workloads.scenarios ({ops.total_bytes // 1024} KB "
+               f"over {ops.n_objects} objects on MachineSpec.tiny()); "
+               f"run the 'scenarios' sweep preset for the full "
+               f"scheduler matrix."))
+    return FigureResult(f"scenario-{name}", series, report)
+
+
 #: Experiment registry for the CLI.
 EXPERIMENTS: Dict[str, Callable[..., FigureResult]] = {
     "fig4a": figure_4a,

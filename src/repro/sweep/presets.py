@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional
 from repro.cpu.topology import MachineSpec
 from repro.sweep.spec import MachineAxis, SweepSpec, WorkloadAxis
 from repro.workloads.dirlookup import DirWorkloadSpec
+from repro.workloads.scenarios import ScenarioSpec
 from repro.workloads.webserver import WebServerSpec
 
 #: Default root seed for presets (any integer works; fixed so two hosts
@@ -160,6 +161,38 @@ def tournament(n_seeds: int = 2,
         warmup_cycles=30_000, measure_cycles=60_000)
 
 
+def scenarios(n_seeds: int = 2,
+              root_seed: Optional[int] = PRESET_ROOT_SEED) -> SweepSpec:
+    """Every registered scenario x every registry scheduler on tiny.
+
+    The adversarial counterpart of the tournament grid: instead of the
+    steady-state directory workload, each column is one named scenario
+    from :mod:`repro.workloads.scenarios` — cache pressure, coherence
+    handoffs, invalidation storms, bursty arrivals, a migrating hot
+    set, and an oversubscribed storm.  Seed-paired like the tournament
+    so ``repro-sweep report --rank`` renders the speedup matrix.  The
+    measurement window is sized so CoreTime's benchmark monitor
+    interval elapses during warmup — the rebalancer actually reacts
+    inside the measured region (the E12 tiny grid never reached it).
+    """
+    from repro.sched import registry
+    from repro.workloads import scenarios as catalog
+    names = registry.names()
+    schedulers = ("thread", "coretime") + tuple(
+        name for name in names if name not in ("thread", "coretime"))
+    workloads = tuple(
+        WorkloadAxis(name, "scenario", ScenarioSpec(name=name),
+                     x=float(index))
+        for index, name in enumerate(catalog.names()))
+    return SweepSpec(
+        name="scenarios",
+        machines=(MachineAxis("tiny", MachineSpec.tiny()),),
+        schedulers=schedulers,
+        workloads=workloads,
+        n_seeds=n_seeds, root_seed=root_seed,
+        warmup_cycles=120_000, measure_cycles=200_000)
+
+
 PRESETS: Dict[str, Callable[..., SweepSpec]] = {
     "smoke": smoke,
     "fig2": fig2,
@@ -167,4 +200,5 @@ PRESETS: Dict[str, Callable[..., SweepSpec]] = {
     "fig4b": fig4b,
     "web": web,
     "tournament": tournament,
+    "scenarios": scenarios,
 }

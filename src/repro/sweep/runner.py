@@ -122,6 +122,9 @@ def _workload_factory(kind: str):
     if kind == "webserver":
         from repro.workloads.webserver import WebServerWorkload
         return lambda machine, spec: WebServerWorkload(machine, spec)
+    if kind == "scenario":
+        from repro.workloads import scenarios
+        return scenarios.build
     raise ConfigError(f"unknown workload kind {kind!r}")
 
 

@@ -33,6 +33,7 @@ from repro.cpu.topology import LatencySpec, MachineSpec
 from repro.errors import ConfigError
 from repro.sim.rng import derive_seed
 from repro.workloads.dirlookup import DirWorkloadSpec
+from repro.workloads.scenarios import ScenarioSpec
 from repro.workloads.synthetic import ObjectOpsSpec
 from repro.workloads.webserver import WebServerSpec
 
@@ -41,6 +42,7 @@ from repro.workloads.webserver import WebServerSpec
 #: fs/machine layers, which workers import on first use).
 WORKLOAD_SPECS: Dict[str, type] = {
     "dirlookup": DirWorkloadSpec,
+    "scenario": ScenarioSpec,
     "synthetic": ObjectOpsSpec,
     "webserver": WebServerSpec,
 }

@@ -34,9 +34,10 @@ from repro.verify.fuzz import (FuzzCase, check_case, generate_case,
 
 
 def _describe(case: FuzzCase) -> str:
+    workload = (f"scenario:{case.scenario}" if case.scenario
+                else f"{case.n_objects}obj/{case.object_bytes}B")
     return (f"{case.n_chips}x{case.cores_per_chip} {case.scheduler} "
-            f"{case.n_objects}obj/{case.object_bytes}B "
-            f"horizon={case.horizon}")
+            f"{workload} horizon={case.horizon}")
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:

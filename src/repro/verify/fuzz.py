@@ -47,6 +47,8 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import derive_seed
 from repro.verify.faults import FaultPlan
 from repro.verify.invariants import InvariantChecker, InvariantViolation
+from repro.workloads import scenarios as scenario_catalog
+from repro.workloads.scenarios import ScenarioSpec
 from repro.workloads.synthetic import ObjectOpsSpec, ObjectOpsWorkload
 
 #: Historical scheduler spellings still accepted in saved repro commands.
@@ -59,6 +61,13 @@ def scheduler_axis() -> Tuple[str, ...]:
     scheduler opt out).  Registering a scheduler grows fuzz coverage
     automatically."""
     return registry.fuzzable_names()
+
+
+def scenario_axis() -> Tuple[str, ...]:
+    """Scenario names the case generator draws from (plus ``""`` for
+    the raw ObjectOpsSpec knobs).  Registering a scenario in
+    :mod:`repro.workloads.scenarios` grows fuzz coverage automatically."""
+    return scenario_catalog.fuzzable_names()
 
 
 class _GenericLRU(LRUCache):
@@ -110,6 +119,10 @@ class FuzzCase:
     threads_per_core: int = 1
     # -- run -----------------------------------------------------------
     horizon: int = 80_000
+    #: Registered scenario name; "" runs the raw ObjectOpsSpec knobs
+    #: above.  Last field with a default so stored cases from before
+    #: the scenario axis load unchanged (missing -> "").
+    scenario: str = ""
 
     def to_json(self) -> str:
         return json.dumps(dataclasses.asdict(self), sort_keys=True,
@@ -135,7 +148,7 @@ def generate_case(seed: int) -> FuzzCase:
     n_chips, cores_per_chip = rng.choice(
         ((1, 2), (1, 4), (2, 1), (2, 2), (2, 4), (4, 2)))
     scheduler = rng.choice(scheduler_axis())
-    return FuzzCase(
+    case = FuzzCase(
         seed=seed,
         n_chips=n_chips,
         cores_per_chip=cores_per_chip,
@@ -161,6 +174,13 @@ def generate_case(seed: int) -> FuzzCase:
         threads_per_core=rng.choice((1, 1, 2)),
         horizon=rng.choice((60_000, 100_000, 150_000)),
     )
+    # The scenario axis is drawn *after* the full case so every draw
+    # above — and therefore every stored case and coverage pin from
+    # before the axis existed — stays byte-identical.  Half the cases
+    # keep the raw knobs; the rest run a registered scenario.
+    names = scenario_axis()
+    scenario = rng.choice(("",) * len(names) + names)
+    return case.replace(scenario=scenario)
 
 
 # ---------------------------------------------------------------------------
@@ -199,6 +219,15 @@ def build_scheduler(case: FuzzCase):
     return scheduler
 
 
+def build_workload(machine: Machine, case: FuzzCase) -> ObjectOpsWorkload:
+    """The case's workload: a registered scenario when ``case.scenario``
+    names one, the raw ObjectOpsSpec knobs otherwise."""
+    if case.scenario:
+        return scenario_catalog.build(
+            machine, ScenarioSpec(name=case.scenario, seed=case.seed))
+    return ObjectOpsWorkload(machine, workload_spec(case))
+
+
 def workload_spec(case: FuzzCase) -> ObjectOpsSpec:
     return ObjectOpsSpec(
         n_objects=case.n_objects, object_bytes=case.object_bytes,
@@ -228,7 +257,7 @@ def run_case(case: FuzzCase, generic: bool = False,
                         capture_memory=True, flight_path=os.devnull)
     sim = Simulator(machine, scheduler, obs=obs,
                     checker=checker, faults=faults, kernel=kernel)
-    workload = ObjectOpsWorkload(machine, workload_spec(case))
+    workload = build_workload(machine, case)
     workload.spawn_all(sim)
     result = sim.run(until=case.horizon)
     stream = events_to_jsonl(obs.events())
@@ -349,6 +378,10 @@ def _shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
     """Progressively simpler variants, most aggressive first."""
     if case.horizon > 20_000:
         yield case.replace(horizon=max(20_000, case.horizon // 2))
+    if case.scenario:
+        # Dropping the scenario falls back to the raw workload knobs —
+        # a much simpler case when the failure isn't scenario-specific.
+        yield case.replace(scenario="")
     if case.n_objects > 1:
         yield case.replace(n_objects=max(1, case.n_objects // 2))
     if case.n_chips > 1:

@@ -4,7 +4,8 @@ from repro.workloads.dirlookup import (DirectoryLookupWorkload,
                                        DirWorkloadSpec)
 from repro.workloads.popularity import (OscillatingPopularity, Popularity,
                                         UniformPopularity, ZipfPopularity,
-                                        make_popularity)
+                                        make_popularity, popularity_for_spec)
+from repro.workloads.scenarios import ScenarioEntry, ScenarioSpec
 from repro.workloads.synthetic import ObjectOpsSpec, ObjectOpsWorkload
 from repro.workloads.trace import OperationTrace, TraceReplayWorkload
 from repro.workloads.webserver import WebServerSpec, WebServerWorkload
@@ -22,5 +23,8 @@ __all__ = [
     "Popularity",
     "UniformPopularity",
     "ZipfPopularity",
+    "ScenarioEntry",
+    "ScenarioSpec",
     "make_popularity",
+    "popularity_for_spec",
 ]

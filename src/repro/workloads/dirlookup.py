@@ -22,7 +22,7 @@ from repro.fs.fat import DIR_ENTRY_SIZE
 from repro.fs.image import FatFilesystem
 from repro.sim.rng import make_rng
 from repro.threads.program import Compute, OpDone
-from repro.workloads.popularity import Popularity, make_popularity
+from repro.workloads.popularity import Popularity, popularity_for_spec
 
 
 @dataclass(frozen=True)
@@ -117,13 +117,11 @@ class DirectoryLookupWorkload:
             spec.n_dirs, spec.files_per_dir,
             cluster_bytes=spec.cluster_bytes)
         self.efsl = EfslFat(machine, fs)
-        self.popularity = popularity or make_popularity(
+        self.popularity = popularity or popularity_for_spec(
             spec.popularity, spec.n_dirs,
+            zipf_s=spec.zipf_s, seed=spec.seed,
             period_cycles=spec.oscillation_period,
-            **({"rotate": spec.oscillation_rotate}
-               if spec.popularity == "oscillating" else
-               {"s": spec.zipf_s, "seed": spec.seed}
-               if spec.popularity == "zipf" else {}))
+            rotate=spec.oscillation_rotate)
         self.resolutions = 0
 
     # ------------------------------------------------------------------

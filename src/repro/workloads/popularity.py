@@ -135,3 +135,25 @@ def make_popularity(kind: str, n: int, period_cycles: int = 1_000_000,
     if kind == "zipf":
         return ZipfPopularity(n, **kwargs)
     raise ConfigError(f"unknown popularity kind {kind!r}")
+
+
+def popularity_for_spec(kind: str, n: int, *, zipf_s: float = 1.0,
+                        seed: int = 0, period_cycles: int = 1_000_000,
+                        rotate: bool = False) -> Popularity:
+    """The one seeded construction path workload specs resolve through.
+
+    Every workload spec stores popularity as plain fields (``kind``,
+    ``zipf_s``, ``seed``, and for the oscillating wave a period and
+    rotate flag); this helper maps those fields onto a sampler so the
+    seeded implementations live here once — dirlookup, the synthetic
+    object workload, the web server and every scenario draw from the
+    same distributions instead of re-deriving the keyword plumbing
+    per workload.
+    """
+    if kind == "uniform":
+        return UniformPopularity(n)
+    if kind == "oscillating":
+        return OscillatingPopularity(n, period_cycles, rotate=rotate)
+    if kind == "zipf":
+        return ZipfPopularity(n, s=zipf_s, seed=seed)
+    raise ConfigError(f"unknown popularity kind {kind!r}")

@@ -27,7 +27,7 @@ from repro.sim.rng import make_rng
 from repro.threads.program import (Acquire, Compute, CtEnd, CtStart,
                                    Release, Scan, Store)
 from repro.threads.sync import SpinLock
-from repro.workloads.popularity import Popularity, make_popularity
+from repro.workloads.popularity import Popularity, popularity_for_spec
 
 
 @dataclass(frozen=True)
@@ -93,10 +93,9 @@ class ObjectOpsWorkload:
             self.locks.append(
                 SpinLock.allocate(space, f"obj{index}")
                 if spec.with_locks else None)
-        self.popularity = popularity or make_popularity(
+        self.popularity = popularity or popularity_for_spec(
             spec.popularity, spec.n_objects,
-            **({"s": spec.zipf_s, "seed": spec.seed}
-               if spec.popularity == "zipf" else {}))
+            zipf_s=spec.zipf_s, seed=spec.seed)
 
     # ------------------------------------------------------------------
 

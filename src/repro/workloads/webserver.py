@@ -31,7 +31,7 @@ from repro.sim.rng import make_rng
 from repro.threads.program import (Acquire, Compute, CtEnd, CtStart,
                                    Release, Scan, Store)
 from repro.threads.sync import SpinLock
-from repro.workloads.popularity import ZipfPopularity
+from repro.workloads.popularity import popularity_for_spec
 
 
 @dataclass(frozen=True)
@@ -92,8 +92,8 @@ class WebServerWorkload:
                 cluster_key=f"site-{directory.name}"))
             # Directory and its content belong together (§6.2).
             directory.object.cluster_key = f"site-{directory.name}"
-        self.popularity = ZipfPopularity(spec.n_dirs, s=spec.zipf_s,
-                                         seed=spec.seed)
+        self.popularity = popularity_for_spec(
+            "zipf", spec.n_dirs, zipf_s=spec.zipf_s, seed=spec.seed)
         self.requests_served = 0
 
     # ------------------------------------------------------------------
